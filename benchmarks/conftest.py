@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each experiment benchmark runs the corresponding E* module (quick mode)
+exactly once under pytest-benchmark timing and prints its tables, so
+``pytest benchmarks/ --benchmark-only -s`` regenerates every "table and
+figure" of the reproduction in one command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_experiment
+
+
+@pytest.fixture
+def run_quick(benchmark):
+    """Benchmark one experiment (single round) and return its tables."""
+
+    def _run(exp_id: str):
+        tables = benchmark.pedantic(
+            run_experiment,
+            args=(exp_id,),
+            kwargs={"quick": True, "seed": 0},
+            rounds=1,
+            iterations=1,
+        )
+        for table in tables:
+            print()
+            print(table)
+        return tables
+
+    return _run

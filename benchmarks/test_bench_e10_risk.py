@@ -1,0 +1,8 @@
+"""E10 — LEC==LSC in the flat regime; risk objectives diverge otherwise."""
+
+
+def test_e10_risk(run_quick):
+    coincide, profile = run_quick("E10")
+    assert all(r["same_as_lec"] for r in coincide.rows)
+    chosen = {r["objective"]: r["plan"] for r in profile.rows}
+    assert chosen["ExpectedCost"] != chosen["WorstCase"]

@@ -1,0 +1,9 @@
+"""E11 — measured executor I/O steps down across the model's breakpoints."""
+
+
+def test_e11_executor(run_quick):
+    (table,) = run_quick("E11")
+    sm = sorted(
+        (r for r in table.rows if r["method"] == "SM"), key=lambda r: r["memory"]
+    )
+    assert sm[0]["measured_io"] > sm[-1]["measured_io"]

@@ -1,0 +1,7 @@
+"""E12 — Monte-Carlo: the LEC plan has the lowest realized mean cost."""
+
+
+def test_e12_montecarlo(run_quick):
+    (table,) = run_quick("E12")
+    means = {r["optimizer"]: r["mean"] for r in table.rows}
+    assert means["Algorithm C"] <= min(means.values()) + 1e-6

@@ -1,0 +1,7 @@
+"""E13 — strategy taxonomy: cost/effort/plan-size trade-offs."""
+
+
+def test_e13_strategies(run_quick):
+    (table,) = run_quick("E13")
+    cost = {r["strategy"]: r["E_cost"] for r in table.rows}
+    assert cost["LEC Algorithm C (compile-time)"] <= cost["LSC @ mean (compile-time)"]

@@ -1,0 +1,8 @@
+"""E14 — EVSI of sampling: worthless for narrow priors, valuable for wide."""
+
+
+def test_e14_sampling(run_quick):
+    (table,) = run_quick("E14")
+    spreads = sorted({r["prior_spread"] for r in table.rows})
+    wide = [r for r in table.rows if r["prior_spread"] == spreads[-1]]
+    assert any(r["evsi"] > 0 for r in wide)

@@ -1,0 +1,7 @@
+"""E15 — mid-execution re-optimization vs compile-time Algorithm D."""
+
+
+def test_e15_reoptimize(run_quick):
+    (table,) = run_quick("E15")
+    for row in table.rows:
+        assert row["adaptive_vs_D"] <= row["static_vs_D"] * 1.05 + 1e-9

@@ -1,0 +1,10 @@
+"""E16 — dependent parameters: independence leaves cost on the table."""
+
+
+def test_e16_dependence(run_quick):
+    (table,) = run_quick("E16")
+    rows = sorted(table.rows, key=lambda r: r["coupling"])
+    assert abs(rows[0]["indep_vs_dep"] - 1.0) < 1e-9
+    assert rows[-1]["indep_vs_dep"] > 1.0
+    for row in rows:
+        assert row["E_observe_load"] <= row["E_dependent"] + 1e-9

@@ -1,0 +1,8 @@
+"""E17 — pipelining ablation: feature vs awareness value."""
+
+
+def test_e17_pipelining(run_quick):
+    (table,) = run_quick("E17")
+    for row in table.rows:
+        assert row["feature_saving_pct"] >= 0.0
+        assert row["awareness_saving_pct"] >= -1e-9

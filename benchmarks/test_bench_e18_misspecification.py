@@ -1,0 +1,8 @@
+"""E18 — robustness to distribution misspecification."""
+
+
+def test_e18_misspecification(run_quick):
+    (table,) = run_quick("E18")
+    exact = [r for r in table.rows if r["factor"] == 1.0]
+    assert all(abs(r["lec_misspec_regret_pct"]) < 1e-6 for r in exact)
+    assert all(r["lec_still_beats_lsc"] >= 0.5 for r in table.rows)

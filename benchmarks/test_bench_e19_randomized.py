@@ -1,0 +1,13 @@
+"""E19 — randomized LEC search: near-optimal where the DP can check it."""
+
+import math
+
+
+def test_e19_randomized(run_quick):
+    (table,) = run_quick("E19")
+    checked = [r for r in table.rows if not math.isnan(r["mean_regret_pct"])]
+    assert checked
+    for row in checked:
+        assert row["mean_regret_pct"] < 30.0
+    sa = [r for r in checked if r["algorithm"] == "simulated annealing"]
+    assert all(r["frac_optimal"] >= 0.5 for r in sa)

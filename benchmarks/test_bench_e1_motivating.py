@@ -1,0 +1,10 @@
+"""E1 — the motivating example (Example 1.1): LSC picks Plan 1, LEC Plan 2."""
+
+
+def test_e1_motivating(run_quick):
+    costs, choosers, monte = run_quick("E1")
+    by_plan = {r["plan"]: r for r in costs.rows}
+    assert by_plan["Plan 2 (LEC)"]["expected"] < by_plan["Plan 1 (sort-merge)"]["expected"]
+    chooser = {r["optimizer"]: r["chooses"] for r in choosers.rows}
+    assert "Plan 1" in chooser["LSC @ mean (1740)"]
+    assert "Plan 2" in chooser["Algorithm C"]

@@ -1,0 +1,9 @@
+"""E20 — cardinality feedback: estimate error and regret converge."""
+
+
+def test_e20_feedback(run_quick):
+    (table,) = run_quick("E20")
+    rows = sorted(table.rows, key=lambda r: r["batch"])
+    assert rows[0]["est_error_x"] > rows[-1]["est_error_x"]
+    assert rows[-1]["regret_vs_oracle"] <= rows[0]["regret_vs_oracle"]
+    assert rows[-1]["regret_vs_oracle"] <= 1.0 + 1e-9

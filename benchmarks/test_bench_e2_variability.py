@@ -1,0 +1,8 @@
+"""E2 — LSC/LEC expected-cost ratio grows with environment variability."""
+
+
+def test_e2_variability(run_quick):
+    (table,) = run_quick("E2")
+    ratios = {r["cv"]: r["mean_ratio"] for r in table.rows}
+    assert ratios[0.0] == 1.0
+    assert max(ratios.values()) > 1.05

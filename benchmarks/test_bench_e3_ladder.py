@@ -1,0 +1,8 @@
+"""E3 — the A/B/C quality ladder vs the exhaustive LEC optimum."""
+
+
+def test_e3_ladder(run_quick):
+    (table,) = run_quick("E3")
+    regret = {r["algorithm"]: r["mean_regret_pct"] for r in table.rows}
+    assert regret["Algorithm C"] == 0.0
+    assert regret["LSC @ mean"] >= regret["Algorithm A"]

@@ -1,0 +1,7 @@
+"""E4 — LEC optimization effort is b x one LSC invocation."""
+
+
+def test_e4_overhead(run_quick):
+    (table,) = run_quick("E4")
+    for row in table.rows:
+        assert abs(row["evals_ratio_vs_lsc"] - row["b"]) < 0.01 * row["b"]

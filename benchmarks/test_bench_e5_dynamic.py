@@ -1,0 +1,9 @@
+"""E5 — dynamic (Markov) memory: phase-aware LEC is exact and dominant."""
+
+
+def test_e5_dynamic(run_quick):
+    (table,) = run_quick("E5")
+    for row in table.rows:
+        assert row["marginal_eq_bruteforce"] is True
+        assert row["mean_lsc_vs_dyn"] >= 1.0 - 1e-9
+        assert row["mean_static_vs_dyn"] >= 1.0 - 1e-9

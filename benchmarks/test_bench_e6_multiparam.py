@@ -1,0 +1,7 @@
+"""E6 — Algorithm D under widening selectivity uncertainty."""
+
+
+def test_e6_multiparam(run_quick):
+    (table,) = run_quick("E6")
+    for row in table.rows:
+        assert row["lsc_vs_D"] >= 1.0 - 1e-9

@@ -1,0 +1,6 @@
+"""E7 — linear-time expected join costs equal the naive triple loop."""
+
+
+def test_e7_fastcost(run_quick):
+    (table,) = run_quick("E7")
+    assert all(r["max_rel_diff"] < 1e-9 for r in table.rows)

@@ -1,0 +1,8 @@
+"""E8 — Proposition 3.1: top-c merges within the c + c ln c probe bound."""
+
+
+def test_e8_topc(run_quick):
+    (table,) = run_quick("E8")
+    for row in table.rows:
+        assert row["correct"] is True
+        assert row["max_probes"] <= row["bound_c_clnc"] + 1e-9

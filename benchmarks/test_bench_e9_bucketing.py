@@ -1,0 +1,7 @@
+"""E9 — level-set bucketing reaches zero regret with few buckets."""
+
+
+def test_e9_bucketing(run_quick):
+    (table,) = run_quick("E9")
+    level_set = [r for r in table.rows if r["strategy"] == "level-set"]
+    assert any(abs(r["regret_pct"]) < 1e-6 for r in level_set)

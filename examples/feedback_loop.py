@@ -1,0 +1,68 @@
+"""Watch the optimizer fix its own statistics by running queries.
+
+The catalog starts with a selectivity estimate that is 200x too high for
+the selective dimension, so the first plan joins the wrong dimension
+first.  Each execution feeds measured join cardinalities back into a
+SelectivityFeedback collector; within two batches the learned
+distribution overturns the bias, the plan flips, and measured I/O drops
+to the oracle's level.
+
+Run:  python examples/feedback_loop.py
+"""
+
+from repro.catalog.feedback import SelectivityFeedback
+from repro.db import Database
+from repro.plans.query import JoinPredicate, JoinQuery
+from repro.workloads import ColumnSpec
+
+BIAS = 200.0
+
+
+def main() -> None:
+    db = Database(rows_per_page=20)
+    db.generate_table(
+        "fact",
+        8000,
+        [
+            ColumnSpec("id", "serial"),
+            ColumnSpec("sel_id", "fk", domain=1000),  # ~10% match dim_sel
+            ColumnSpec("all_id", "fk", domain=10),    # all match dim_all
+        ],
+        seed=11,
+    )
+    db.create_table("dim_sel", ["id"], [(i,) for i in range(100)])
+    db.create_table("dim_all", ["id"], [(i,) for i in range(10)])
+    query = db.join_query(
+        ["fact", "dim_sel", "dim_all"],
+        {("fact", "dim_sel"): ("sel_id", "id"), ("fact", "dim_all"): ("all_id", "id")},
+    )
+
+    # Sabotage the estimate for the selective join.
+    biased = JoinQuery(
+        list(query.relations),
+        [
+            JoinPredicate(
+                p.left, p.right,
+                selectivity=min(1.0, p.selectivity * (BIAS if "sel_id" in p.label else 1.0)),
+                label=p.label,
+            )
+            for p in query.predicates
+        ],
+        rows_per_page=query.rows_per_page,
+    )
+
+    feedback = SelectivityFeedback(n_buckets=5, min_observations=2)
+    print(f"{'batch':>6}{'plan':<42}{'measured I/O':>14}")
+    for batch in range(5):
+        believed = feedback.apply_to_query(biased)
+        plan = db.optimize(believed, 12.0).plan
+        out = db.execute(plan, memory_pages=12, feedback=feedback)
+        print(f"{batch:>6}  {plan.signature():<40}{out.io.total:>14,}")
+    print(
+        "\nThe measured cardinalities overturned a "
+        f"{BIAS:.0f}x estimation error without any manual tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Plan diagrams: see the geometry the LEC argument lives in.
+
+Renders the optimal-plan regions of two queries directly in the terminal:
+
+1. the motivating Example 1.1 over the memory axis — one boundary at
+   1000 pages (= sqrt of the larger relation), exactly where the paper's
+   discussion puts it.  A memory distribution straddling that line is
+   the precondition for LEC ≠ LSC;
+2. a three-way join over (memory × selectivity) — the classic 2-D "plan
+   diagram" picture with several regions meeting.
+
+Run:  python examples/plan_diagrams.py
+"""
+
+from repro.plans.query import JoinPredicate, JoinQuery, RelationSpec
+from repro.tools import memory_plan_diagram, memory_selectivity_diagram
+from repro.workloads import example_1_1
+
+
+def main() -> None:
+    query, memory = example_1_1()
+    print("Example 1.1 — optimal plan vs memory:")
+    print(memory_plan_diagram(query, 100.0, 10_000.0, width=64).render())
+    print()
+    print(
+        "The 2000/700-page distribution straddles the boundary above — "
+        "that is why\nLSC (which stands on one side) and LEC (which "
+        "weighs both) disagree.\n"
+    )
+
+    three_way = JoinQuery(
+        [
+            RelationSpec("R", pages=60_000.0),
+            RelationSpec("S", pages=9_000.0),
+            RelationSpec("T", pages=1_200.0),
+        ],
+        [
+            JoinPredicate("R", "S", selectivity=2e-7, label="R=S"),
+            JoinPredicate("S", "T", selectivity=1.4e-4, label="S=T"),
+        ],
+        rows_per_page=100,
+    )
+    print("Three-way join — optimal plan over (memory x R=S selectivity):")
+    print(
+        memory_selectivity_diagram(
+            three_way, "R=S", 50.0, 50_000.0, 1e-9, 1e-5, width=56, height=12
+        ).render()
+    )
+
+
+if __name__ == "__main__":
+    main()

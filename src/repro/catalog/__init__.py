@@ -1,0 +1,38 @@
+"""Catalog substrate: schema, statistics, histograms and sampling.
+
+The optimizer's view of the database: table/column/index definitions
+(:mod:`~repro.catalog.schema`), size and value statistics with both point
+and distributional selectivity estimation (:mod:`~repro.catalog.statistics`,
+:mod:`~repro.catalog.histogram`), and sampling-based estimation with
+posterior uncertainty (:mod:`~repro.catalog.sampling`).
+"""
+
+from .histogram import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    Histogram,
+    join_selectivity_from_histograms,
+)
+from .feedback import SelectivityFeedback
+from .sampling import SampleEstimate, estimate_selectivity, selectivity_posterior
+from .schema import Catalog, Column, Index, SchemaError, Table
+from .statistics import StatisticsCatalog, TableStats, default_join_selectivity
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Index",
+    "Table",
+    "SchemaError",
+    "Histogram",
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "join_selectivity_from_histograms",
+    "StatisticsCatalog",
+    "TableStats",
+    "default_join_selectivity",
+    "SelectivityFeedback",
+    "SampleEstimate",
+    "estimate_selectivity",
+    "selectivity_posterior",
+]

@@ -1,0 +1,89 @@
+"""Core LEC machinery: distributions, algorithms A-D, bucketing, risk."""
+
+from .algorithm_a import optimize_algorithm_a
+from .algorithm_b import optimize_algorithm_b
+from .algorithm_c import optimize_algorithm_c
+from .algorithm_d import optimize_algorithm_d, plan_expected_cost_multiparam
+from .bayesnet import BayesNetError, DiscreteBayesNet
+from .bucketing import (
+    collect_memory_breakpoints,
+    equal_depth_buckets,
+    equal_width_buckets,
+    level_set_buckets,
+    level_set_expectation,
+    refine_adaptive,
+)
+from .distributions import (
+    DiscreteDistribution,
+    discretized_lognormal,
+    discretized_normal,
+    from_samples,
+    independent_product,
+    point_mass,
+    two_point,
+    uniform_over,
+)
+from .expected_cost import (
+    expected_grace_hash_cost,
+    expected_join_cost_fast,
+    expected_join_cost_naive,
+    expected_nested_loop_cost,
+    expected_sort_merge_cost,
+)
+from .lsc import lsc_at_mean, lsc_at_mode, optimize_lsc
+from .markov import MarkovParameter, random_walk_chain, sticky_chain
+from .risk import (
+    ExpectedCost,
+    ExponentialUtility,
+    MeanVariance,
+    QuantileCost,
+    UtilityObjective,
+    WorstCase,
+    choose_by_utility,
+    cost_is_memory_invariant,
+    plan_cost_distribution,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "point_mass",
+    "two_point",
+    "uniform_over",
+    "from_samples",
+    "discretized_lognormal",
+    "discretized_normal",
+    "independent_product",
+    "DiscreteBayesNet",
+    "BayesNetError",
+    "MarkovParameter",
+    "random_walk_chain",
+    "sticky_chain",
+    "optimize_lsc",
+    "lsc_at_mean",
+    "lsc_at_mode",
+    "optimize_algorithm_a",
+    "optimize_algorithm_b",
+    "optimize_algorithm_c",
+    "optimize_algorithm_d",
+    "plan_expected_cost_multiparam",
+    "expected_join_cost_naive",
+    "expected_join_cost_fast",
+    "expected_sort_merge_cost",
+    "expected_nested_loop_cost",
+    "expected_grace_hash_cost",
+    "equal_width_buckets",
+    "equal_depth_buckets",
+    "level_set_buckets",
+    "level_set_expectation",
+    "collect_memory_breakpoints",
+    "refine_adaptive",
+    "UtilityObjective",
+    "ExpectedCost",
+    "MeanVariance",
+    "ExponentialUtility",
+    "QuantileCost",
+    "WorstCase",
+    "choose_by_utility",
+    "plan_cost_distribution",
+    "cost_is_memory_invariant",
+]

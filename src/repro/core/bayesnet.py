@@ -1,0 +1,237 @@
+"""Discrete Bayesian networks over optimizer parameters (Section 4).
+
+The paper assumes parameters are independent, noting: "If there are some
+dependencies between the variables, but not too many, we can still
+describe the distribution succinctly using a Bayesian network [Pea88].
+We believe that the techniques that we present here will also be
+applicable to that case."  This module makes that belief concrete: a
+small discrete Bayes net (:class:`DiscreteBayesNet`) describes the joint
+distribution of memory, selectivities and sizes — e.g. a latent *system
+load* variable that simultaneously depresses available memory and shifts
+selectivities — and :class:`~repro.optimizer.costers` gains a
+``BayesNetCoster`` (see :mod:`repro.optimizer.dependent`) that computes
+exact expected costs under the dependent joint.
+
+Networks are meant to be small (a handful of nodes, a few values each);
+inference is by exact joint enumeration, which is both simple and — at
+optimizer scale — fast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .distributions import DiscreteDistribution
+
+__all__ = ["DiscreteBayesNet", "BayesNetError"]
+
+Assignment = Dict[str, float]
+
+
+class BayesNetError(ValueError):
+    """Raised on malformed network definitions or queries."""
+
+
+@dataclass(frozen=True)
+class _Node:
+    name: str
+    values: Tuple[float, ...]
+    parents: Tuple[str, ...]
+    # cpt maps a tuple of parent values to the child's probability vector.
+    cpt: Mapping[Tuple[float, ...], Tuple[float, ...]]
+
+
+class DiscreteBayesNet:
+    """A Bayesian network over named real-valued discrete variables.
+
+    Nodes are added parents-first; each node carries a conditional
+    probability table keyed by parent value combinations.
+
+    Example — load couples memory and a selectivity::
+
+        net = DiscreteBayesNet()
+        net.add_node("load", [0.0, 1.0], probs=[0.6, 0.4])
+        net.add_node(
+            "M", [2000.0, 500.0], parents=["load"],
+            cpt={(0.0,): [0.9, 0.1], (1.0,): [0.2, 0.8]},
+        )
+    """
+
+    def __init__(self):
+        self._nodes: Dict[str, _Node] = {}
+        self._order: List[str] = []
+        self._joint_cache: Optional[List[Tuple[Assignment, float]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        values: Sequence[float],
+        parents: Sequence[str] = (),
+        probs: Optional[Sequence[float]] = None,
+        cpt: Optional[Mapping[Tuple[float, ...], Sequence[float]]] = None,
+    ) -> "DiscreteBayesNet":
+        """Add a variable.  Root nodes take ``probs``; others take ``cpt``.
+
+        Returns ``self`` so definitions chain.
+        """
+        if name in self._nodes:
+            raise BayesNetError(f"node {name!r} already defined")
+        vals = tuple(float(v) for v in values)
+        if len(set(vals)) != len(vals) or not vals:
+            raise BayesNetError(f"node {name!r} needs distinct, non-empty values")
+        parents = tuple(parents)
+        for p in parents:
+            if p not in self._nodes:
+                raise BayesNetError(
+                    f"parent {p!r} of {name!r} must be added first"
+                )
+        if parents:
+            if cpt is None:
+                raise BayesNetError(f"node {name!r} has parents and needs a cpt")
+            table: Dict[Tuple[float, ...], Tuple[float, ...]] = {}
+            expected_keys = list(
+                itertools.product(*(self._nodes[p].values for p in parents))
+            )
+            for key in expected_keys:
+                fkey = tuple(float(k) for k in key)
+                if fkey not in {tuple(float(x) for x in k) for k in cpt}:
+                    raise BayesNetError(
+                        f"cpt of {name!r} missing parent combination {fkey}"
+                    )
+            for key, row in cpt.items():
+                fkey = tuple(float(k) for k in key)
+                vec = self._check_probs(name, row, len(vals))
+                table[fkey] = vec
+            self._nodes[name] = _Node(name, vals, parents, table)
+        else:
+            if probs is None:
+                raise BayesNetError(f"root node {name!r} needs probs")
+            vec = self._check_probs(name, probs, len(vals))
+            self._nodes[name] = _Node(name, vals, (), {(): vec})
+        self._order.append(name)
+        self._joint_cache = None
+        return self
+
+    @staticmethod
+    def _check_probs(name: str, row: Sequence[float], n: int) -> Tuple[float, ...]:
+        vec = tuple(float(p) for p in row)
+        if len(vec) != n:
+            raise BayesNetError(f"probability row of {name!r} has wrong arity")
+        if any(p < 0 for p in vec) or abs(sum(vec) - 1.0) > 1e-9:
+            raise BayesNetError(
+                f"probability row of {name!r} must be non-negative and sum to 1"
+            )
+        return vec
+
+    # ------------------------------------------------------------------
+    # Inference (exact, by enumeration)
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Variable names in insertion (topological) order."""
+        return list(self._order)
+
+    def joint(self) -> List[Tuple[Assignment, float]]:
+        """All full assignments with non-zero probability."""
+        if self._joint_cache is None:
+            out: List[Tuple[Assignment, float]] = []
+            self._enumerate({}, 1.0, 0, out)
+            self._joint_cache = out
+        return self._joint_cache
+
+    def _enumerate(self, partial: Assignment, prob: float, depth: int, out):
+        if prob == 0.0:
+            return
+        if depth == len(self._order):
+            out.append((dict(partial), prob))
+            return
+        node = self._nodes[self._order[depth]]
+        key = tuple(partial[p] for p in node.parents)
+        row = node.cpt[key]
+        for value, p in zip(node.values, row):
+            if p == 0.0:
+                continue
+            partial[node.name] = value
+            self._enumerate(partial, prob * p, depth + 1, out)
+            del partial[node.name]
+
+    def marginal(self, name: str) -> DiscreteDistribution:
+        """Marginal distribution of one variable."""
+        if name not in self._nodes:
+            raise BayesNetError(f"no node {name!r}")
+        acc: Dict[float, float] = {}
+        for assignment, prob in self.joint():
+            v = assignment[name]
+            acc[v] = acc.get(v, 0.0) + prob
+        return DiscreteDistribution(list(acc), list(acc.values()))
+
+    def conditional(self, name: str, given: Assignment) -> DiscreteDistribution:
+        """Distribution of ``name`` given observed values of other nodes."""
+        if name not in self._nodes:
+            raise BayesNetError(f"no node {name!r}")
+        acc: Dict[float, float] = {}
+        total = 0.0
+        for assignment, prob in self.joint():
+            if any(assignment.get(k) != float(v) for k, v in given.items()):
+                continue
+            acc[assignment[name]] = acc.get(assignment[name], 0.0) + prob
+            total += prob
+        if total <= 0.0:
+            raise BayesNetError(f"evidence {given!r} has zero probability")
+        return DiscreteDistribution(list(acc), [p / total for p in acc.values()])
+
+    def condition(self, given: Assignment) -> "DiscreteBayesNet":
+        """A new net representing the joint conditioned on the evidence.
+
+        Implemented by re-expressing the conditioned joint as a single
+        flat factor (one synthetic root per variable would lose
+        dependence); for the coster's purposes only the joint matters,
+        so the conditioned net exposes the same API via a frozen joint.
+        """
+        kept = []
+        total = 0.0
+        for assignment, prob in self.joint():
+            if any(assignment.get(k) != float(v) for k, v in given.items()):
+                continue
+            kept.append((dict(assignment), prob))
+            total += prob
+        if total <= 0.0:
+            raise BayesNetError(f"evidence {given!r} has zero probability")
+        clone = DiscreteBayesNet()
+        clone._nodes = dict(self._nodes)
+        clone._order = list(self._order)
+        clone._joint_cache = [(a, p / total) for a, p in kept]
+        return clone
+
+    def expectation(self, fn: Callable[[Assignment], float]) -> float:
+        """``E[fn(X)]`` over the (possibly conditioned) joint."""
+        return sum(prob * fn(assignment) for assignment, prob in self.joint())
+
+    def sample(self, rng: np.random.Generator) -> Assignment:
+        """Draw one full assignment from the joint."""
+        assignments, probs = zip(*self.joint())
+        idx = rng.choice(len(assignments), p=np.array(probs) / sum(probs))
+        return dict(assignments[int(idx)])
+
+    def mutual_dependence(self, a: str, b: str) -> float:
+        """Total-variation gap between the joint of (a, b) and the product
+        of marginals — 0 iff the two variables are independent.
+        """
+        joint_ab: Dict[Tuple[float, float], float] = {}
+        for assignment, prob in self.joint():
+            key = (assignment[a], assignment[b])
+            joint_ab[key] = joint_ab.get(key, 0.0) + prob
+        ma, mb = self.marginal(a), self.marginal(b)
+        gap = 0.0
+        for (va, vb), p in joint_ab.items():
+            gap += abs(p - ma.prob_of(va) * mb.prob_of(vb))
+        return gap

@@ -1,0 +1,207 @@
+"""Markov-chain models for parameters that change *during* execution.
+
+Section 3.5 of the paper drops the assumption that available memory stays
+constant while a plan runs: execution proceeds in *phases* (one per join),
+memory is constant within a phase but may change between phases, and the
+change is governed by a time-homogeneous transition probability that
+depends only on the current value ("reasonable for 24x7 systems in stable
+operational mode").
+
+:class:`MarkovParameter` packages an initial distribution plus a
+transition matrix over a fixed state set, and exposes the two views the
+algorithms need:
+
+* ``marginal(k)`` — the distribution of the parameter in phase ``k``.
+  Because expectation distributes over addition, Algorithm C only ever
+  needs these per-phase marginals to compute the exact expected cost of a
+  left-deep plan (Theorem 3.4), even though phases are *not* independent.
+* ``sequences(length)`` — explicit enumeration of all ``b^length`` value
+  sequences with their probabilities, used by the tests and experiments to
+  verify the marginal-based computation against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .distributions import DiscreteDistribution
+
+__all__ = ["MarkovParameter", "random_walk_chain", "sticky_chain"]
+
+
+class MarkovParameter:
+    """A parameter evolving between plan phases under a Markov chain.
+
+    Parameters
+    ----------
+    states:
+        Parameter values (e.g. memory sizes in pages), strictly increasing.
+    initial:
+        Probability of each state at phase 0 (when the first join starts).
+    transition:
+        Row-stochastic matrix: ``transition[i, j]`` is the probability of
+        moving from ``states[i]`` to ``states[j]`` between consecutive
+        phases.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[float],
+        initial: Sequence[float],
+        transition: Sequence[Sequence[float]],
+    ):
+        self.states = np.asarray(states, dtype=float)
+        if self.states.ndim != 1 or self.states.size == 0:
+            raise ValueError("states must be a non-empty 1-d sequence")
+        if np.any(np.diff(self.states) <= 0):
+            raise ValueError("states must be strictly increasing")
+        self.initial = np.asarray(initial, dtype=float)
+        self.transition = np.asarray(transition, dtype=float)
+        n = self.states.size
+        if self.initial.shape != (n,):
+            raise ValueError(f"initial must have shape ({n},)")
+        if self.transition.shape != (n, n):
+            raise ValueError(f"transition must have shape ({n}, {n})")
+        if np.any(self.initial < 0) or not np.isclose(self.initial.sum(), 1.0):
+            raise ValueError("initial must be a probability vector")
+        if np.any(self.transition < 0) or not np.allclose(
+            self.transition.sum(axis=1), 1.0
+        ):
+            raise ValueError("transition rows must be probability vectors")
+        self._marginal_cache: List[np.ndarray] = [self.initial.copy()]
+
+    @property
+    def n_states(self) -> int:
+        """Number of parameter values the chain moves between."""
+        return int(self.states.size)
+
+    # ------------------------------------------------------------------
+
+    def _marginal_vector(self, phase: int) -> np.ndarray:
+        if phase < 0:
+            raise ValueError("phase must be >= 0")
+        while len(self._marginal_cache) <= phase:
+            self._marginal_cache.append(self._marginal_cache[-1] @ self.transition)
+        return self._marginal_cache[phase]
+
+    def marginal(self, phase: int) -> DiscreteDistribution:
+        """Distribution of the parameter value during phase ``phase``.
+
+        Phase 0 is the first join executed (the bottom of a left-deep
+        plan); each subsequent join is one phase later.
+        """
+        return DiscreteDistribution(self.states, self._marginal_vector(phase))
+
+    def stationary(self, tol: float = 1e-12, max_iter: int = 100000) -> DiscreteDistribution:
+        """Stationary distribution via power iteration."""
+        vec = self.initial.copy()
+        for _ in range(max_iter):
+            nxt = vec @ self.transition
+            if np.max(np.abs(nxt - vec)) < tol:
+                vec = nxt
+                break
+            vec = nxt
+        return DiscreteDistribution(self.states, vec / vec.sum())
+
+    # ------------------------------------------------------------------
+
+    def sequences(self, length: int) -> Iterator[Tuple[Tuple[float, ...], float]]:
+        """Enumerate all value sequences of ``length`` phases with probability.
+
+        This is the ``b_M^{n-1}`` explosion the paper warns about; it is
+        exposed for verification (Theorem 3.4 tests) and for small exact
+        experiments only.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        if length == 0:
+            yield (), 1.0
+            return
+        n = self.n_states
+        for idx_seq in itertools.product(range(n), repeat=length):
+            p = float(self.initial[idx_seq[0]])
+            for a, b in zip(idx_seq[:-1], idx_seq[1:]):
+                p *= float(self.transition[a, b])
+                if p == 0.0:
+                    break
+            if p == 0.0:
+                continue
+            yield tuple(float(self.states[i]) for i in idx_seq), p
+
+    def sample_path(self, length: int, rng: np.random.Generator) -> List[float]:
+        """Sample one trajectory of parameter values across ``length`` phases."""
+        if length <= 0:
+            return []
+        idx = int(rng.choice(self.n_states, p=self.initial))
+        path = [float(self.states[idx])]
+        for _ in range(length - 1):
+            idx = int(rng.choice(self.n_states, p=self.transition[idx]))
+            path.append(float(self.states[idx]))
+        return path
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def static(cls, dist: DiscreteDistribution) -> "MarkovParameter":
+        """A chain that never moves — the static-parameter special case."""
+        n = dist.n_buckets
+        return cls(dist.support(), dist.probs, np.eye(n))
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovParameter(states={[float(s) for s in self.states]}, "
+            f"n={self.n_states})"
+        )
+
+
+def random_walk_chain(
+    states: Sequence[float],
+    initial: Optional[Sequence[float]] = None,
+    move_prob: float = 0.2,
+) -> MarkovParameter:
+    """A lazy random walk over the state ladder.
+
+    With probability ``move_prob`` the parameter steps to an adjacent
+    state (split evenly up/down, reflecting at the ends); otherwise it
+    stays put.  ``move_prob`` is the volatility knob experiment E5 sweeps.
+    """
+    states = list(states)
+    n = len(states)
+    if n == 0:
+        raise ValueError("states must be non-empty")
+    if not 0.0 <= move_prob <= 1.0:
+        raise ValueError("move_prob must be in [0, 1]")
+    trans = np.zeros((n, n))
+    for i in range(n):
+        if n == 1:
+            trans[i, i] = 1.0
+            continue
+        up = i + 1 if i + 1 < n else i - 1
+        down = i - 1 if i - 1 >= 0 else i + 1
+        trans[i, i] += 1.0 - move_prob
+        trans[i, up] += move_prob / 2.0
+        trans[i, down] += move_prob / 2.0
+    if initial is None:
+        initial = np.full(n, 1.0 / n)
+    return MarkovParameter(states, initial, trans)
+
+
+def sticky_chain(
+    dist: DiscreteDistribution, stickiness: float
+) -> MarkovParameter:
+    """A chain whose every row mixes "stay" with "redraw from ``dist``".
+
+    With probability ``stickiness`` the value persists; otherwise a fresh
+    value is drawn from ``dist``.  The marginal at every phase equals
+    ``dist`` (it is stationary), which isolates the effect of *temporal
+    correlation* from the effect of marginal variance.
+    """
+    if not 0.0 <= stickiness <= 1.0:
+        raise ValueError("stickiness must be in [0, 1]")
+    n = dist.n_buckets
+    redraw = np.tile(dist.probs, (n, 1))
+    trans = stickiness * np.eye(n) + (1.0 - stickiness) * redraw
+    return MarkovParameter(dist.support(), dist.probs, trans)

@@ -1,0 +1,40 @@
+"""Cost model: join/sort/scan formulas, size estimation, plan costing."""
+
+from .estimates import (
+    SizeEstimate,
+    annotate_sizes,
+    node_size,
+    subset_size,
+    subset_size_distribution,
+)
+from .formulas import (
+    MIN_MEMORY_PAGES,
+    external_sort_cost,
+    grace_hash_cost,
+    join_breakpoints,
+    join_cost,
+    nested_loop_cost,
+    scan_cost,
+    sort_breakpoints,
+    sort_merge_cost,
+)
+from .model import DEFAULT_METHODS, CostModel
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_METHODS",
+    "SizeEstimate",
+    "subset_size",
+    "subset_size_distribution",
+    "node_size",
+    "annotate_sizes",
+    "join_cost",
+    "join_breakpoints",
+    "nested_loop_cost",
+    "sort_merge_cost",
+    "grace_hash_cost",
+    "external_sort_cost",
+    "sort_breakpoints",
+    "scan_cost",
+    "MIN_MEMORY_PAGES",
+]

@@ -1,0 +1,128 @@
+"""Result-size estimation for plan nodes and relation subsets.
+
+Under the textbook independence assumptions, the size of a join result
+depends only on the *set* of relations joined (and the predicates applied
+between them), not on the join order or methods — this is observation 3
+behind the System-R dynamic program.  We therefore estimate sizes per
+relation subset and look plan-node sizes up via ``node.relations()``.
+
+Two views are provided, mirroring LSC vs. LEC inputs:
+
+* :func:`subset_size` — point estimate ``(rows, pages)``;
+* :func:`subset_size_distribution` — a
+  :class:`~repro.core.distributions.DiscreteDistribution` over pages,
+  propagated through the classic ``|A ⋈ B| = |A|·|B|·σ`` identity with
+  independent inputs and rebucketing (Section 3.6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from ..core.distributions import (
+    DiscreteDistribution,
+    independent_product,
+    point_mass,
+)
+from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.query import JoinQuery
+
+__all__ = [
+    "SizeEstimate",
+    "subset_size",
+    "subset_size_distribution",
+    "annotate_sizes",
+    "node_size",
+]
+
+
+@dataclass(frozen=True)
+class SizeEstimate:
+    """Point estimate of an intermediate result's size."""
+
+    rows: float
+    pages: float
+
+
+def subset_size(rels: FrozenSet[str], query: JoinQuery) -> SizeEstimate:
+    """Point size estimate for the join over ``rels``.
+
+    Rows multiply; every predicate internal to the subset contributes its
+    selectivity once.  A two-relation subset whose (single) predicate
+    carries ``result_pages_override`` uses the override verbatim — this is
+    how scenario reconstructions pin known result sizes.
+    """
+    rels = frozenset(rels)
+    if not rels:
+        raise ValueError("subset must be non-empty")
+    rows = 1.0
+    for name in rels:
+        rows *= query.rows_of(name)
+    preds = query.predicates_within(rels)
+    if len(rels) == 2 and len(preds) == 1 and preds[0].result_pages_override is not None:
+        pages = float(preds[0].result_pages_override)
+        return SizeEstimate(rows=pages * query.rows_per_page, pages=pages)
+    for p in preds:
+        rows *= p.selectivity
+    if len(rels) == 1:
+        name = next(iter(rels))
+        return SizeEstimate(rows=rows, pages=query.pages_of(name))
+    pages = max(1.0, rows / query.rows_per_page)
+    return SizeEstimate(rows=rows, pages=pages)
+
+
+def subset_size_distribution(
+    rels: FrozenSet[str],
+    query: JoinQuery,
+    max_buckets: int = 16,
+) -> DiscreteDistribution:
+    """Distribution over the page count of the join over ``rels``.
+
+    Relation sizes and predicate selectivities are treated as mutually
+    independent (the paper's default assumption); the exact product
+    distribution is formed and then rebucketed to at most ``max_buckets``
+    support points, preserving the mean.
+    """
+    rels = frozenset(rels)
+    if not rels:
+        raise ValueError("subset must be non-empty")
+    if len(rels) == 1:
+        name = next(iter(rels))
+        spec = query.relation(name)
+        dist = spec.pages_distribution()
+        if spec.filter_selectivity < 1.0:
+            dist = dist.scale(spec.filter_selectivity).clip(lo=1.0)
+        return dist.rebucket(max_buckets)
+
+    preds = query.predicates_within(rels)
+    if len(rels) == 2 and len(preds) == 1 and preds[0].result_pages_override is not None:
+        return point_mass(float(preds[0].result_pages_override))
+
+    # pages(S) = Π pages_i · rpp^(k-1) · Π σ_p   (rows = pages·rpp each).
+    factors = [query.relation(name).pages_distribution() for name in sorted(rels)]
+    factors += [p.selectivity_distribution() for p in preds]
+    rpp_power = float(query.rows_per_page) ** (len(rels) - 1)
+
+    # Fold pairwise with intermediate rebucketing to keep the support small.
+    acc = factors[0]
+    for nxt in factors[1:]:
+        acc = independent_product(lambda a, b: a * b, acc, nxt)
+        acc = acc.rebucket(max_buckets)
+    acc = acc.scale(rpp_power)
+    # Account for local filters on the member relations.
+    for name in rels:
+        fsel = query.relation(name).filter_selectivity
+        if fsel < 1.0:
+            acc = acc.scale(fsel)
+    return acc.clip(lo=1.0).rebucket(max_buckets)
+
+
+def node_size(node: PlanNode, query: JoinQuery) -> SizeEstimate:
+    """Point size estimate of a plan node's output."""
+    return subset_size(node.relations(), query)
+
+
+def annotate_sizes(plan: Plan, query: JoinQuery) -> Dict[PlanNode, SizeEstimate]:
+    """Size estimates for every node of ``plan`` (keyed by node value)."""
+    return {node: node_size(node, query) for node in plan.nodes()}

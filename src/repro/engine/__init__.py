@@ -1,0 +1,59 @@
+"""Execution substrate: environments, Monte-Carlo simulation, tuple engine."""
+
+from .buffer import BufferPool, IOCounters
+from .environment import (
+    lognormal_memory,
+    multiprogramming_chain,
+    multiprogramming_memory,
+    observed_memory,
+    paper_bimodal_memory,
+)
+from .executor import (
+    ExecutionContext,
+    ExecutionError,
+    HashIndex,
+    index_nested_loop_join,
+    block_nested_loop_join,
+    execute_plan,
+    external_sort,
+    grace_hash_join,
+    merge_join,
+    sort_merge_join,
+)
+from .pages import Page, PagedFile, Schema, StorageManager
+from .simulator import (
+    SimulationSummary,
+    compare_plans,
+    realize_query,
+    simulate_plan_costs,
+    simulate_plan_costs_multiparam,
+)
+
+__all__ = [
+    "BufferPool",
+    "IOCounters",
+    "Schema",
+    "Page",
+    "PagedFile",
+    "StorageManager",
+    "ExecutionContext",
+    "ExecutionError",
+    "execute_plan",
+    "external_sort",
+    "merge_join",
+    "sort_merge_join",
+    "block_nested_loop_join",
+    "grace_hash_join",
+    "HashIndex",
+    "index_nested_loop_join",
+    "paper_bimodal_memory",
+    "multiprogramming_memory",
+    "multiprogramming_chain",
+    "lognormal_memory",
+    "observed_memory",
+    "SimulationSummary",
+    "simulate_plan_costs",
+    "simulate_plan_costs_multiparam",
+    "compare_plans",
+    "realize_query",
+]

@@ -1,0 +1,128 @@
+"""A counting buffer pool with LRU replacement.
+
+Every page access in the tuple-level executor goes through
+:class:`BufferPool`.  A page already resident is free; a miss costs one
+read I/O; writing a page costs one write I/O (write-through, so the
+counters are simple and deterministic).  The pool's capacity is the
+``memory`` parameter of the cost formulas, making measured I/O directly
+comparable to the model's predictions (experiment E11).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .pages import Page, PagedFile
+
+__all__ = ["BufferPool", "IOCounters"]
+
+
+@dataclass
+class IOCounters:
+    """Cumulative I/O tallies."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total page I/Os (reads + writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOCounters":
+        """Copy of the current tallies."""
+        return IOCounters(reads=self.reads, writes=self.writes)
+
+    def since(self, earlier: "IOCounters") -> "IOCounters":
+        """Delta between now and an earlier snapshot."""
+        return IOCounters(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+        )
+
+
+class BufferPool:
+    """Fixed-capacity page cache with LRU eviction and I/O counting.
+
+    Pages are identified by ``(file_name, page_index)``.  ``pin`` marks
+    pages an operator holds in its working set (e.g. the resident hash
+    partition); pinned pages are never evicted, and an operator that pins
+    more pages than the capacity allows raises — the executor-level
+    analogue of "does not fit in memory".
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self.capacity = capacity
+        self.counters = IOCounters()
+        self._resident: "OrderedDict[Tuple[str, int], Page]" = OrderedDict()
+        self._pinned: set = set()
+
+    # ------------------------------------------------------------------
+
+    def read(self, pf: PagedFile, page_index: int) -> Page:
+        """Fetch a page, charging a read I/O on a miss."""
+        key = (pf.name, page_index)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return self._resident[key]
+        self.counters.reads += 1
+        page = pf.pages[page_index]
+        self._admit(key, page)
+        return page
+
+    def write(self, pf: PagedFile, page_index: int) -> None:
+        """Charge one write I/O for flushing a page (write-through)."""
+        self.counters.writes += 1
+        key = (pf.name, page_index)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+        else:
+            self._admit(key, pf.pages[page_index])
+
+    def pin(self, pf: PagedFile, page_index: int) -> None:
+        """Protect a resident page from eviction."""
+        key = (pf.name, page_index)
+        if key not in self._resident:
+            raise KeyError(f"page {key} not resident; read it first")
+        self._pinned.add(key)
+
+    def unpin_all(self, file_name: Optional[str] = None) -> None:
+        """Release pins (for one file, or all)."""
+        if file_name is None:
+            self._pinned.clear()
+        else:
+            self._pinned = {k for k in self._pinned if k[0] != file_name}
+
+    def evict_file(self, file_name: str) -> None:
+        """Drop all of a file's pages from the pool (temp cleanup)."""
+        self._pinned = {k for k in self._pinned if k[0] != file_name}
+        for key in [k for k in self._resident if k[0] == file_name]:
+            del self._resident[key]
+
+    @property
+    def resident_count(self) -> int:
+        """Pages currently cached."""
+        return len(self._resident)
+
+    # ------------------------------------------------------------------
+
+    def _admit(self, key: Tuple[str, int], page: Page) -> None:
+        while len(self._resident) >= self.capacity:
+            victim = self._find_victim()
+            if victim is None:
+                raise MemoryError(
+                    f"buffer pool of {self.capacity} pages exhausted by pins"
+                )
+            del self._resident[victim]
+        self._resident[key] = page
+        self._resident.move_to_end(key)
+
+    def _find_victim(self) -> Optional[Tuple[str, int]]:
+        for key in self._resident:
+            if key not in self._pinned:
+                return key
+        return None

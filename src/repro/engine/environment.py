@@ -1,0 +1,183 @@
+"""Run-time environment models: where memory distributions come from.
+
+The paper's category-3 parameters ("properties of the run-time
+environment") are "gathered from observations of the realistic deployment
+environments".  Lacking a production DBMS to observe, we build the
+observation process itself: a multiprogramming model in which the buffer
+pages available to a query depend on how many concurrent queries happen
+to be running, plus the canned distributions the paper's discussion uses
+(the 80/20 bimodal example) and generic variability sweeps.
+
+All generators return :class:`~repro.core.distributions.
+DiscreteDistribution` (static case) or :class:`~repro.core.markov.
+MarkovParameter` (dynamic case), ready to feed any LEC algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.distributions import (
+    DiscreteDistribution,
+    discretized_lognormal,
+    from_samples,
+    two_point,
+)
+from ..core.markov import MarkovParameter
+
+__all__ = [
+    "paper_bimodal_memory",
+    "multiprogramming_memory",
+    "multiprogramming_chain",
+    "lognormal_memory",
+    "observed_memory",
+]
+
+
+def paper_bimodal_memory() -> DiscreteDistribution:
+    """The motivating example's distribution: 2000 pages 80%, 700 pages 20%."""
+    return two_point(2000.0, 0.8, 700.0)
+
+
+def multiprogramming_memory(
+    total_pages: float,
+    per_query_pages: float,
+    max_concurrent: int,
+    load: float,
+    floor_pages: float = 64.0,
+) -> DiscreteDistribution:
+    """Memory left for *this* query under concurrent-query pressure.
+
+    The number of other active queries is binomial(``max_concurrent``,
+    ``load``); each consumes ``per_query_pages`` of the shared buffer
+    pool.  Available memory is clamped at ``floor_pages`` (the DBMS always
+    grants a minimum working set).  This is the "available memory is
+    mainly determined by the number of queries being run concurrently"
+    model of Section 3.5, in static form.
+    """
+    if not 0.0 <= load <= 1.0:
+        raise ValueError("load must be in [0, 1]")
+    if max_concurrent < 0:
+        raise ValueError("max_concurrent must be >= 0")
+    values: List[float] = []
+    probs: List[float] = []
+    for k in range(max_concurrent + 1):
+        p = math.comb(max_concurrent, k) * load**k * (1 - load) ** (
+            max_concurrent - k
+        )
+        mem = max(floor_pages, total_pages - k * per_query_pages)
+        values.append(mem)
+        probs.append(p)
+    return DiscreteDistribution(values, probs)
+
+
+def multiprogramming_chain(
+    total_pages: float,
+    per_query_pages: float,
+    max_concurrent: int,
+    arrival_prob: float,
+    departure_prob: float,
+    floor_pages: float = 64.0,
+    initial_concurrent: Optional[int] = None,
+) -> MarkovParameter:
+    """Dynamic version: concurrency evolves between join phases.
+
+    Between consecutive phases one query may arrive (probability
+    ``arrival_prob``, when below the cap) and/or one may depart
+    (probability ``departure_prob``, when any are running); the chain
+    tracks the resulting memory ladder.  With ``initial_concurrent=None``
+    the chain starts from its own stationary concurrency mix.
+    """
+    if not 0.0 <= arrival_prob <= 1.0 or not 0.0 <= departure_prob <= 1.0:
+        raise ValueError("probabilities must be in [0, 1]")
+    n = max_concurrent + 1
+    trans = np.zeros((n, n))
+    for k in range(n):
+        up = arrival_prob if k < max_concurrent else 0.0
+        down = departure_prob if k > 0 else 0.0
+        trans[k, k] = (1 - up) * (1 - down) + up * down
+        if k < max_concurrent:
+            trans[k, k + 1] = up * (1 - down)
+        if k > 0:
+            trans[k, k - 1] = down * (1 - up)
+    # Memory ladder must be strictly increasing for MarkovParameter, so
+    # index states by *decreasing* concurrency.
+    mems = [
+        max(floor_pages, total_pages - k * per_query_pages) for k in range(n)
+    ]
+    order = np.argsort(mems)
+    # Resolve ties in the clamped region by collapsing onto unique values.
+    uniq_order: List[int] = []
+    seen = set()
+    for i in order:
+        if mems[i] not in seen:
+            seen.add(mems[i])
+            uniq_order.append(int(i))
+    if len(uniq_order) < n:
+        # Clamping collapsed states; merge their transition mass.
+        return _collapsed_chain(mems, trans, initial_concurrent, n)
+    states = [mems[i] for i in uniq_order]
+    perm = np.array(uniq_order)
+    trans_p = trans[np.ix_(perm, perm)]
+    if initial_concurrent is None:
+        vec = np.full(n, 1.0 / n)
+        for _ in range(500):
+            vec = vec @ trans
+        init = vec[perm]
+    else:
+        if not 0 <= initial_concurrent <= max_concurrent:
+            raise ValueError("initial_concurrent out of range")
+        init = np.zeros(n)
+        init[list(perm).index(initial_concurrent)] = 1.0
+    return MarkovParameter(states, init / init.sum(), trans_p)
+
+
+def _collapsed_chain(mems, trans, initial_concurrent, n) -> MarkovParameter:
+    """Merge concurrency states whose clamped memory coincides."""
+    uniq = sorted(set(mems))
+    idx_of = {m: i for i, m in enumerate(uniq)}
+    groups = [idx_of[m] for m in mems]
+    k = len(uniq)
+    agg = np.zeros((k, k))
+    weight = np.zeros(k)
+    for a in range(n):
+        weight[groups[a]] += 1.0
+        for b in range(n):
+            agg[groups[a], groups[b]] += trans[a, b]
+    agg = agg / weight[:, None]
+    if initial_concurrent is None:
+        init = weight / weight.sum()
+        for _ in range(500):
+            init = init @ agg
+    else:
+        init = np.zeros(k)
+        init[groups[initial_concurrent]] = 1.0
+    return MarkovParameter(uniq, init / init.sum(), agg)
+
+
+def lognormal_memory(
+    mean_pages: float,
+    cv: float,
+    n_buckets: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> DiscreteDistribution:
+    """Right-skewed memory with a controllable coefficient of variation.
+
+    The variability knob the E2 sweep turns: ``cv = 0`` is the certainty
+    (LSC-sufficient) regime, larger ``cv`` widens the environment.
+    """
+    return discretized_lognormal(mean_pages, cv, n_buckets=n_buckets, rng=rng)
+
+
+def observed_memory(
+    samples: Sequence[float], n_buckets: int = 8
+) -> DiscreteDistribution:
+    """Fit a distribution from logged free-memory observations.
+
+    The production path: the DBMS logs available buffer pages at query
+    start-up and the optimizer consumes the empirical distribution.
+    """
+    return from_samples(samples, n_buckets=n_buckets)

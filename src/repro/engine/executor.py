@@ -1,0 +1,519 @@
+"""Tuple-level physical operators: a real (if small) query engine.
+
+The operators actually move tuples through paged storage, with every page
+access routed through the counting :class:`~repro.engine.buffer.
+BufferPool`.  They implement the same algorithms the cost model prices —
+external merge sort, block nested loop, sort-merge join, Grace hash join
+— so measured page I/Os can be compared against the formulas'
+predictions, including the pass-count jumps at the memory breakpoints
+(experiment E11).
+
+Conventions
+-----------
+* An operator reads inputs through the pool (read I/Os on misses) and
+  materialises its output into a temp file, charging one write per output
+  page.
+* ``memory`` is the pool capacity in pages; working-set limits (sort run
+  length, BNL block size, hash partition counts) derive from it the same
+  way the formulas assume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.properties import JoinMethod
+from .buffer import BufferPool, IOCounters
+from .pages import PagedFile, Row, Schema, StorageManager
+
+__all__ = [
+    "ExecutionContext",
+    "JoinObservation",
+    "HashIndex",
+    "index_nested_loop_join",
+    "external_sort",
+    "merge_join",
+    "sort_merge_join",
+    "block_nested_loop_join",
+    "grace_hash_join",
+    "execute_plan",
+    "ExecutionError",
+]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed (bad bindings, etc.)."""
+
+
+@dataclass
+class JoinObservation:
+    """Measured cardinalities of one executed join."""
+
+    predicate_label: str
+    left_rows: int
+    right_rows: int
+    out_rows: int
+
+    @property
+    def actual_selectivity(self) -> float:
+        """``out / (left · right)`` — the true selectivity realised."""
+        denom = self.left_rows * self.right_rows
+        return self.out_rows / denom if denom else 0.0
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one query execution.
+
+    ``observations`` accumulates the measured input/output cardinalities
+    of every join executed through :func:`execute_plan` — the raw
+    material for cardinality feedback (see
+    :mod:`repro.catalog.feedback`).
+    """
+
+    storage: StorageManager
+    pool: BufferPool
+    rows_per_page: int
+    observations: List["JoinObservation"] = field(default_factory=list)
+
+    def new_temp(self, schema: Schema) -> PagedFile:
+        """Fresh temp file at the context's page size."""
+        return self.storage.new_temp(schema, self.rows_per_page)
+
+    def charge_output(self, pf: PagedFile) -> None:
+        """Charge one write I/O per page of a materialised output."""
+        self.pool.counters.writes += pf.n_pages
+
+    def drop_temp(self, pf: PagedFile) -> None:
+        """Release a temp file and its buffered pages."""
+        self.pool.evict_file(pf.name)
+        self.storage.drop(pf.name)
+
+
+def _read_rows(ctx: ExecutionContext, pf: PagedFile) -> Iterator[Row]:
+    for i in range(pf.n_pages):
+        page = ctx.pool.read(pf, i)
+        yield from page.rows
+
+
+# ----------------------------------------------------------------------
+# External merge sort
+# ----------------------------------------------------------------------
+
+
+def external_sort(
+    ctx: ExecutionContext, pf: PagedFile, key_index: int
+) -> PagedFile:
+    """Sort a file by one field using memory-bounded external merge sort.
+
+    Run formation reads ``B`` pages at a time (B = pool capacity), sorts
+    in memory and writes a run; merge passes combine up to ``B - 1`` runs
+    until one remains.  A file of at most ``B`` pages is sorted entirely
+    in memory (one read pass, one output write).
+    """
+    capacity = ctx.pool.capacity
+    if pf.n_pages == 0:
+        out = ctx.new_temp(pf.schema)
+        return out
+    # Run formation.
+    runs: List[PagedFile] = []
+    buffer_rows: List[Row] = []
+    pages_in_buffer = 0
+    for i in range(pf.n_pages):
+        page = ctx.pool.read(pf, i)
+        buffer_rows.extend(page.rows)
+        pages_in_buffer += 1
+        if pages_in_buffer == capacity:
+            runs.append(_write_run(ctx, pf.schema, buffer_rows, key_index))
+            buffer_rows = []
+            pages_in_buffer = 0
+    if buffer_rows:
+        runs.append(_write_run(ctx, pf.schema, buffer_rows, key_index))
+
+    # Merge passes with fan-in capacity - 1.
+    fan_in = max(2, capacity - 1)
+    while len(runs) > 1:
+        next_runs: List[PagedFile] = []
+        for start in range(0, len(runs), fan_in):
+            group = runs[start : start + fan_in]
+            if len(group) == 1:
+                next_runs.append(group[0])
+                continue
+            merged = _merge_runs(ctx, group, key_index)
+            for run in group:
+                ctx.drop_temp(run)
+            next_runs.append(merged)
+        runs = next_runs
+    return runs[0]
+
+
+def _write_run(
+    ctx: ExecutionContext, schema: Schema, rows: List[Row], key_index: int
+) -> PagedFile:
+    rows = sorted(rows, key=lambda r: r[key_index])
+    run = ctx.new_temp(schema)
+    for row in rows:
+        run.append_row(row)
+    ctx.charge_output(run)
+    return run
+
+
+def _merge_runs(
+    ctx: ExecutionContext, runs: List[PagedFile], key_index: int
+) -> PagedFile:
+    out = ctx.new_temp(runs[0].schema)
+    iterators = [_read_rows(ctx, run) for run in runs]
+    heap: List[Tuple[object, int, Row]] = []
+    for idx, it in enumerate(iterators):
+        row = next(it, None)
+        if row is not None:
+            heapq.heappush(heap, (row[key_index], idx, row))
+    while heap:
+        _, idx, row = heapq.heappop(heap)
+        out.append_row(row)
+        nxt = next(iterators[idx], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[key_index], idx, nxt))
+    ctx.charge_output(out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+
+
+def merge_join(
+    ctx: ExecutionContext,
+    left: PagedFile,
+    right: PagedFile,
+    left_key: int,
+    right_key: int,
+) -> PagedFile:
+    """Merge two key-sorted inputs; duplicate key groups are buffered."""
+    out_schema = left.schema.concat(right.schema)
+    out = ctx.new_temp(out_schema)
+    lit = _read_rows(ctx, left)
+    rit = _read_rows(ctx, right)
+    lrow = next(lit, None)
+    rrow = next(rit, None)
+    while lrow is not None and rrow is not None:
+        lk, rk = lrow[left_key], rrow[right_key]
+        if lk < rk:
+            lrow = next(lit, None)
+        elif lk > rk:
+            rrow = next(rit, None)
+        else:
+            # Gather the right-side group for this key, then emit the
+            # cross product with every matching left row.
+            group: List[Row] = []
+            while rrow is not None and rrow[right_key] == lk:
+                group.append(rrow)
+                rrow = next(rit, None)
+            while lrow is not None and lrow[left_key] == lk:
+                for g in group:
+                    out.append_row(lrow + g)
+                lrow = next(lit, None)
+    ctx.charge_output(out)
+    return out
+
+
+def sort_merge_join(
+    ctx: ExecutionContext,
+    left: PagedFile,
+    right: PagedFile,
+    left_key: int,
+    right_key: int,
+) -> PagedFile:
+    """Sort both inputs, then merge them."""
+    ls = external_sort(ctx, left, left_key)
+    rs = external_sort(ctx, right, right_key)
+    try:
+        return merge_join(ctx, ls, rs, left_key, right_key)
+    finally:
+        for tmp in (ls, rs):
+            if tmp is not left and tmp is not right:
+                ctx.drop_temp(tmp)
+
+
+def block_nested_loop_join(
+    ctx: ExecutionContext,
+    outer: PagedFile,
+    inner: PagedFile,
+    outer_key: int,
+    inner_key: int,
+) -> PagedFile:
+    """Join with memory-sized outer blocks hashed for inner probes."""
+    capacity = ctx.pool.capacity
+    block_pages = max(1, capacity - 2)
+    out = ctx.new_temp(outer.schema.concat(inner.schema))
+    for block_start in range(0, outer.n_pages, block_pages):
+        block: Dict[object, List[Row]] = {}
+        end = min(block_start + block_pages, outer.n_pages)
+        for i in range(block_start, end):
+            for row in ctx.pool.read(outer, i).rows:
+                block.setdefault(row[outer_key], []).append(row)
+        if not block:
+            continue
+        for j in range(inner.n_pages):
+            for irow in ctx.pool.read(inner, j).rows:
+                for orow in block.get(irow[inner_key], ()):
+                    out.append_row(orow + irow)
+    ctx.charge_output(out)
+    return out
+
+
+def grace_hash_join(
+    ctx: ExecutionContext,
+    left: PagedFile,
+    right: PagedFile,
+    left_key: int,
+    right_key: int,
+) -> PagedFile:
+    """Grace hash join with build on the smaller input.
+
+    If the smaller input fits in memory the partitioning phase is skipped
+    (the in-memory fast path of the cost formula); otherwise both inputs
+    are hash-partitioned so each build partition fits, then joined
+    partition-wise.
+    """
+    build, probe, build_key, probe_key, build_is_left = _pick_build(
+        left, right, left_key, right_key
+    )
+    capacity = ctx.pool.capacity
+    out = ctx.new_temp(left.schema.concat(right.schema))
+
+    def emit(brow: Row, prow: Row) -> None:
+        out.append_row(brow + prow if build_is_left else prow + brow)
+
+    if build.n_pages + 2 <= capacity:
+        table: Dict[object, List[Row]] = {}
+        for row in _read_rows(ctx, build):
+            table.setdefault(row[build_key], []).append(row)
+        for prow in _read_rows(ctx, probe):
+            for brow in table.get(prow[probe_key], ()):
+                emit(brow, prow)
+        ctx.charge_output(out)
+        return out
+
+    n_partitions = max(2, -(-build.n_pages // max(1, capacity - 2)))
+    build_parts = _partition(ctx, build, build_key, n_partitions)
+    probe_parts = _partition(ctx, probe, probe_key, n_partitions)
+    try:
+        for bp, pp in zip(build_parts, probe_parts):
+            table = {}
+            for row in _read_rows(ctx, bp):
+                table.setdefault(row[build_key], []).append(row)
+            for prow in _read_rows(ctx, pp):
+                for brow in table.get(prow[probe_key], ()):
+                    emit(brow, prow)
+    finally:
+        for tmp in build_parts + probe_parts:
+            ctx.drop_temp(tmp)
+    ctx.charge_output(out)
+    return out
+
+
+def _pick_build(left, right, left_key, right_key):
+    if left.n_pages <= right.n_pages:
+        return left, right, left_key, right_key, True
+    return right, left, right_key, left_key, False
+
+
+def _partition(
+    ctx: ExecutionContext, pf: PagedFile, key: int, n_partitions: int
+) -> List[PagedFile]:
+    parts = [ctx.new_temp(pf.schema) for _ in range(n_partitions)]
+    for row in _read_rows(ctx, pf):
+        parts[hash(row[key]) % n_partitions].append_row(row)
+    for part in parts:
+        ctx.charge_output(part)
+    return parts
+
+
+# ----------------------------------------------------------------------
+# Whole-plan execution
+# ----------------------------------------------------------------------
+
+#: Maps a join predicate label to the (left field, right field) it joins.
+KeyBinding = Dict[str, Tuple[str, str]]
+
+#: Maps a scan filter label to a row predicate over the scanned table's
+#: full schema (e.g. ``lambda row: row[0] < 100``).
+FilterBinding = Dict[str, Callable[[Row], bool]]
+
+_JOIN_IMPL: Dict[JoinMethod, Callable] = {
+    JoinMethod.SORT_MERGE: sort_merge_join,
+    JoinMethod.GRACE_HASH: grace_hash_join,
+    JoinMethod.HYBRID_HASH: grace_hash_join,  # same tuple flow
+    JoinMethod.BLOCK_NESTED_LOOP: block_nested_loop_join,
+    JoinMethod.NESTED_LOOP: block_nested_loop_join,
+}
+
+
+def execute_plan(
+    plan: Plan,
+    ctx: ExecutionContext,
+    bindings: KeyBinding,
+    filters: Optional[FilterBinding] = None,
+) -> Tuple[PagedFile, IOCounters]:
+    """Run a plan tree against the context's stored tables.
+
+    ``bindings`` resolves each join predicate label to the pair of field
+    names it equates; scan leaves are looked up in the storage manager by
+    table name.  ``filters`` resolves a scan's ``filter_label`` to a row
+    predicate; a filtering scan reads its base table and materialises the
+    reduced output (matching the cost model's filtered-scan accounting).
+    Returns the materialised result and the I/O delta of the execution.
+    """
+    before = ctx.pool.counters.snapshot()
+    result = _execute(plan.root, ctx, bindings, filters or {})
+    delta = ctx.pool.counters.since(before)
+    return result, delta
+
+
+def _execute(
+    node: PlanNode,
+    ctx: ExecutionContext,
+    bindings: KeyBinding,
+    filters: FilterBinding,
+) -> PagedFile:
+    if isinstance(node, Scan):
+        try:
+            base = ctx.storage.get(node.table)
+        except KeyError as exc:
+            raise ExecutionError(str(exc)) from None
+        if node.filter_label is None:
+            return base
+        if node.filter_label not in filters:
+            raise ExecutionError(
+                f"no filter binding for {node.filter_label!r}"
+            )
+        predicate = filters[node.filter_label]
+        out = ctx.new_temp(base.schema)
+        for row in _read_rows(ctx, base):
+            if predicate(row):
+                out.append_row(row)
+        ctx.charge_output(out)
+        return out
+    if isinstance(node, Sort):
+        child = _execute(node.child, ctx, bindings, filters)
+        field_name = _order_field(node.sort_order, child.schema, bindings)
+        result = external_sort(ctx, child, child.schema.index_of(field_name))
+        if child.name.startswith("__temp"):
+            ctx.drop_temp(child)
+        return result
+    assert isinstance(node, Join)
+    left = _execute(node.left, ctx, bindings, filters)
+    right = _execute(node.right, ctx, bindings, filters)
+    if node.predicate_label not in bindings:
+        raise ExecutionError(
+            f"no key binding for predicate {node.predicate_label!r}"
+        )
+    lfield, rfield = bindings[node.predicate_label]
+    try:
+        lidx = left.schema.index_of(lfield)
+    except KeyError:
+        # The bound "left" field may live on the right input (predicate
+        # labels are unordered); swap.
+        lfield, rfield = rfield, lfield
+        lidx = left.schema.index_of(lfield)
+    ridx = right.schema.index_of(rfield)
+    impl = _JOIN_IMPL[node.method]
+    left_rows, right_rows = left.n_rows, right.n_rows
+    result = impl(ctx, left, right, lidx, ridx)
+    ctx.observations.append(
+        JoinObservation(
+            predicate_label=node.predicate_label,
+            left_rows=left_rows,
+            right_rows=right_rows,
+            out_rows=result.n_rows,
+        )
+    )
+    for tmp in (left, right):
+        if tmp.name.startswith("__temp"):
+            ctx.drop_temp(tmp)
+    return result
+
+
+def _order_field(order_label: str, schema: Schema, bindings: KeyBinding) -> str:
+    if order_label in bindings:
+        lfield, rfield = bindings[order_label]
+        for candidate in (lfield, rfield):
+            if candidate in schema.fields:
+                return candidate
+    if order_label in schema.fields:
+        return order_label
+    raise ExecutionError(
+        f"cannot resolve sort order {order_label!r} against schema {schema.fields}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Index nested loop (pre-existing index on the inner relation)
+# ----------------------------------------------------------------------
+
+
+class HashIndex:
+    """A pre-existing in-memory index: key value → pages holding matches.
+
+    Models a secondary index that was built before the query ran, so its
+    construction is not charged to the query; probes pay ``height`` page
+    reads for the index descent (charged directly, the index pages are
+    not part of the buffer-pool working set) plus the matching data
+    pages through the pool.
+    """
+
+    def __init__(self, pf: PagedFile, key: int, height: int = 2):
+        if height < 1:
+            raise ValueError("index height must be >= 1")
+        self.file = pf
+        self.key = key
+        self.height = height
+        self._pages_by_key: Dict[object, List[int]] = {}
+        for page_idx, page in enumerate(pf.pages):
+            for row in page.rows:
+                lst = self._pages_by_key.setdefault(row[key], [])
+                if not lst or lst[-1] != page_idx:
+                    lst.append(page_idx)
+
+    def probe_pages(self, value) -> List[int]:
+        """Page indexes containing rows with the given key value."""
+        return self._pages_by_key.get(value, [])
+
+
+def index_nested_loop_join(
+    ctx: ExecutionContext,
+    outer: PagedFile,
+    inner: PagedFile,
+    outer_key: int,
+    inner_key: int,
+    index: Optional[HashIndex] = None,
+) -> PagedFile:
+    """Join by probing an index on the inner relation per outer row.
+
+    The classic access-path trade-off: for a small or highly selective
+    outer, probing beats scanning the inner; for a large outer it
+    degrades toward quadratic page touches (mitigated by the buffer
+    pool caching hot inner pages).
+    """
+    if index is None:
+        index = HashIndex(inner, inner_key)
+    if index.file is not inner or index.key != inner_key:
+        raise ExecutionError("index does not cover the join's inner key")
+    out = ctx.new_temp(outer.schema.concat(inner.schema))
+    for orow in _read_rows(ctx, outer):
+        value = orow[outer_key]
+        pages = index.probe_pages(value)
+        if not pages:
+            continue
+        ctx.pool.counters.reads += index.height  # index descent
+        for page_idx in pages:
+            for irow in ctx.pool.read(inner, page_idx).rows:
+                if irow[inner_key] == value:
+                    out.append_row(orow + irow)
+    ctx.charge_output(out)
+    return out

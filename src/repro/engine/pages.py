@@ -1,0 +1,148 @@
+"""Paged storage: relations as sequences of fixed-capacity pages.
+
+The cost unit throughout the paper is the *page I/O*, so the tuple-level
+executor stores every relation as a :class:`PagedFile` — a list of pages,
+each holding up to ``rows_per_page`` tuples — and routes every page access
+through the buffer pool, which counts the I/Os.  Tuples are plain Python
+tuples; a :class:`Schema` names their fields.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Schema", "Page", "PagedFile", "StorageManager"]
+
+Row = Tuple
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Field names of a relation's tuples."""
+
+    fields: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError("duplicate field names in schema")
+
+    def index_of(self, name: str) -> int:
+        """Position of a field within each tuple."""
+        try:
+            return self.fields.index(name)
+        except ValueError:
+            raise KeyError(f"no field {name!r} in schema {self.fields}") from None
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a join result (fields concatenated; collisions suffixed)."""
+        taken = set(self.fields)
+        out = list(self.fields)
+        for f in other.fields:
+            name = f
+            while name in taken:
+                name = name + "_r"
+            taken.add(name)
+            out.append(name)
+        return Schema(tuple(out))
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+@dataclass
+class Page:
+    """One fixed-capacity page of tuples."""
+
+    rows: List[Row] = field(default_factory=list)
+
+
+class PagedFile:
+    """A relation stored as pages of at most ``rows_per_page`` tuples."""
+
+    def __init__(self, name: str, schema: Schema, rows_per_page: int):
+        if rows_per_page <= 0:
+            raise ValueError("rows_per_page must be positive")
+        self.name = name
+        self.schema = schema
+        self.rows_per_page = rows_per_page
+        self.pages: List[Page] = []
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Iterable[Row],
+        rows_per_page: int,
+    ) -> "PagedFile":
+        """Bulk-load rows into pages (no I/O charged: initial load)."""
+        pf = cls(name, schema, rows_per_page)
+        current: List[Row] = []
+        for row in rows:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row arity {len(row)} does not match schema {schema.fields}"
+                )
+            current.append(tuple(row))
+            if len(current) == rows_per_page:
+                pf.pages.append(Page(current))
+                current = []
+        if current:
+            pf.pages.append(Page(current))
+        return pf
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages."""
+        return len(self.pages)
+
+    @property
+    def n_rows(self) -> int:
+        """Total tuple count."""
+        return sum(len(p.rows) for p in self.pages)
+
+    def append_row(self, row: Row) -> bool:
+        """Append a tuple; returns True when a *new* page was started."""
+        if len(row) != len(self.schema):
+            raise ValueError("row arity does not match schema")
+        if not self.pages or len(self.pages[-1].rows) >= self.rows_per_page:
+            self.pages.append(Page([tuple(row)]))
+            return True
+        self.pages[-1].rows.append(tuple(row))
+        return False
+
+
+class StorageManager:
+    """Owns all paged files (base tables and temporaries) by name."""
+
+    def __init__(self):
+        self._files: Dict[str, PagedFile] = {}
+        self._temp_counter = itertools.count()
+
+    def register(self, pf: PagedFile) -> PagedFile:
+        """Add a file; names must be unique."""
+        if pf.name in self._files:
+            raise ValueError(f"file {pf.name!r} already registered")
+        self._files[pf.name] = pf
+        return pf
+
+    def get(self, name: str) -> PagedFile:
+        """Look up a file by name."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise KeyError(f"no paged file {name!r}") from None
+
+    def new_temp(self, schema: Schema, rows_per_page: int) -> PagedFile:
+        """Create and register a fresh temporary file."""
+        name = f"__temp{next(self._temp_counter)}"
+        return self.register(PagedFile(name, schema, rows_per_page))
+
+    def drop(self, name: str) -> None:
+        """Remove a file (temporaries after use)."""
+        self._files.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files

@@ -1,0 +1,200 @@
+"""Monte-Carlo plan execution: realized costs under sampled environments.
+
+The analytic machinery computes ``E[Φ]``; the simulator *runs the
+lottery*: it samples concrete environments (a memory value, a memory
+trajectory across phases, or full parameter vectors including true
+selectivities), evaluates each plan's realized cost in each, and reports
+the empirical statistics.  This closes the loop the paper argues about —
+"Plan 2 is likely to be cheaper on average across a large number of
+evaluations" becomes a measured win-rate (experiments E2/E5/E12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.distributions import DiscreteDistribution
+from ..core.markov import MarkovParameter
+from ..costmodel.model import CostModel
+from ..plans.nodes import Plan
+from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+
+__all__ = [
+    "SimulationSummary",
+    "simulate_plan_costs",
+    "simulate_plan_costs_multiparam",
+    "compare_plans",
+    "realize_query",
+]
+
+Environment = Union[DiscreteDistribution, MarkovParameter]
+
+
+@dataclass
+class SimulationSummary:
+    """Empirical statistics of one plan's realized costs."""
+
+    plan: Plan
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    worst: float
+    n_trials: int
+
+    @classmethod
+    def from_costs(cls, plan: Plan, costs: np.ndarray) -> "SimulationSummary":
+        """Summarise an array of realized costs."""
+        return cls(
+            plan=plan,
+            mean=float(costs.mean()),
+            std=float(costs.std(ddof=0)),
+            p50=float(np.quantile(costs, 0.5)),
+            p95=float(np.quantile(costs, 0.95)),
+            worst=float(costs.max()),
+            n_trials=int(costs.size),
+        )
+
+
+def _sample_memory_trace(
+    env: Environment, n_phases: int, rng: np.random.Generator
+) -> List[float]:
+    if isinstance(env, MarkovParameter):
+        return env.sample_path(n_phases, rng)
+    value = env.sample(rng)
+    return [value] * n_phases
+
+
+def simulate_plan_costs(
+    plan: Plan,
+    query: JoinQuery,
+    env: Environment,
+    n_trials: int,
+    rng: np.random.Generator,
+    cost_model: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Realized Φ for ``n_trials`` sampled memory environments.
+
+    Static environments draw one memory value per trial; Markov
+    environments draw a full per-phase trajectory.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    cm = cost_model if cost_model is not None else CostModel()
+    costs = np.empty(n_trials)
+    for i in range(n_trials):
+        trace = _sample_memory_trace(env, plan.n_phases, rng)
+        costs[i] = cm.plan_cost_dynamic(plan, query, trace)
+    return costs
+
+
+def realize_query(
+    query: JoinQuery, rng: np.random.Generator
+) -> JoinQuery:
+    """Sample one concrete "true world" from a query's distributions.
+
+    Every distributional relation size and predicate selectivity is
+    replaced by a single sampled value; point-estimate fields pass
+    through.  The result is the query as nature actually made it for one
+    execution.
+    """
+    relations = []
+    for spec in query.relations:
+        pages = spec.pages
+        if spec.pages_dist is not None:
+            pages = float(spec.pages_dist.sample(rng))
+        relations.append(
+            RelationSpec(
+                name=spec.name,
+                pages=pages,
+                rows=pages * query.rows_per_page,
+                filter_selectivity=spec.filter_selectivity,
+            )
+        )
+    predicates = []
+    for pred in query.predicates:
+        sel = pred.selectivity
+        if pred.selectivity_dist is not None:
+            sel = float(pred.selectivity_dist.sample(rng))
+        predicates.append(
+            JoinPredicate(
+                left=pred.left,
+                right=pred.right,
+                selectivity=min(1.0, sel),
+                label=pred.label,
+                result_pages_override=pred.result_pages_override,
+            )
+        )
+    return JoinQuery(
+        relations,
+        predicates,
+        required_order=query.required_order,
+        rows_per_page=query.rows_per_page,
+    )
+
+
+def simulate_plan_costs_multiparam(
+    plan: Plan,
+    query: JoinQuery,
+    memory: DiscreteDistribution,
+    n_trials: int,
+    rng: np.random.Generator,
+    cost_model: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Realized Φ when sizes/selectivities are uncertain too.
+
+    Each trial samples a concrete world via :func:`realize_query` plus a
+    memory value, then costs the (fixed) plan in that world — the regret
+    measurement for Algorithm D.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    cm = cost_model if cost_model is not None else CostModel()
+    costs = np.empty(n_trials)
+    for i in range(n_trials):
+        world = realize_query(query, rng)
+        m = float(memory.sample(rng))
+        costs[i] = cm.plan_cost(plan, world, m)
+    return costs
+
+
+def compare_plans(
+    plans: Sequence[Plan],
+    query: JoinQuery,
+    env: Environment,
+    n_trials: int,
+    rng: np.random.Generator,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[str, object]:
+    """Head-to-head comparison over *common* sampled environments.
+
+    All plans face the same environment in each trial (common random
+    numbers), so ``win_rate[i]`` is the fraction of trials in which plan
+    ``i`` was the strictly cheapest.  Returns summaries, the win-rate
+    vector and the raw cost matrix (trials × plans).
+    """
+    if not plans:
+        raise ValueError("need at least one plan")
+    cm = cost_model if cost_model is not None else CostModel()
+    n_phases = max(p.n_phases for p in plans)
+    matrix = np.empty((n_trials, len(plans)))
+    for t in range(n_trials):
+        trace = _sample_memory_trace(env, n_phases, rng)
+        for j, plan in enumerate(plans):
+            matrix[t, j] = cm.plan_cost_dynamic(plan, query, trace[: plan.n_phases])
+    summaries = [
+        SimulationSummary.from_costs(plan, matrix[:, j])
+        for j, plan in enumerate(plans)
+    ]
+    mins = matrix.min(axis=1, keepdims=True)
+    is_win = matrix <= mins + 1e-9
+    win_rate = is_win.mean(axis=0)
+    return {
+        "summaries": summaries,
+        "win_rate": [float(w) for w in win_rate],
+        "costs": matrix,
+    }

@@ -1,0 +1,5 @@
+"""Experiment harness reproducing the paper's quantitative claims (E1-E20)."""
+
+from .harness import EXPERIMENTS, ExperimentTable, format_table, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentTable", "format_table", "run_experiment"]

@@ -1,0 +1,57 @@
+"""CLI: run experiments and print their tables.
+
+Usage::
+
+    python -m repro.experiments              # run everything
+    python -m repro.experiments E1 E5        # run a subset
+    python -m repro.experiments --quick E2   # reduced trial counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run LEC reproduction experiments (see DESIGN.md).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (E1..E20); default: all",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None, help="also write all tables to this file"
+    )
+    args = parser.parse_args(argv)
+    sink = open(args.output, "w") if args.output else None
+
+    ids = [e.upper() for e in args.experiments] or sorted(
+        EXPERIMENTS, key=lambda k: int(k[1:])
+    )
+    for exp_id in ids:
+        start = time.perf_counter()
+        tables = run_experiment(exp_id, quick=args.quick, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        for table in tables:
+            print(table)
+            print()
+            if sink is not None:
+                sink.write(str(table) + "\n\n")
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+    if sink is not None:
+        sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""E14 — when is sampling worth it? ([SBM93] via EVSI).
+
+Sweeps the width of a selectivity prior and the price of the probe, and
+reports the expected value of sample information: sampling pays exactly
+when the prior is wide enough that the outcome can *change the plan*, and
+the probe costs less than the expected improvement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.distributions import DiscreteDistribution
+from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+from ..strategies.sampling_decision import evaluate_sampling
+from .harness import ExperimentTable
+
+__all__ = ["run"]
+
+
+def _query(spread: float) -> JoinQuery:
+    """Selectivity prior spanning ``spread``x around 2e-7.
+
+    The certain alternative (joining S ⋈ T first, a fixed ~153k-page
+    intermediate) is priced *between* the uncertain R ⋈ S route's good
+    and bad outcomes, so the best plan genuinely depends on the true
+    selectivity once the prior is wide — the precondition for sampling
+    to have any decision value.
+    """
+    centre = 2e-7
+    lo, hi = centre / spread, centre * spread
+    prior = DiscreteDistribution([lo, hi], [0.5, 0.5])
+    return JoinQuery(
+        [
+            RelationSpec("R", pages=60_000.0),
+            RelationSpec("S", pages=9_000.0),
+            RelationSpec("T", pages=1_200.0),
+        ],
+        [
+            JoinPredicate(
+                "R", "S", selectivity=prior.mean(),
+                selectivity_dist=prior, label="R=S",
+            ),
+            JoinPredicate("S", "T", selectivity=1.4e-4, label="S=T"),
+        ],
+        rows_per_page=100,
+    )
+
+
+def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
+    """Sweep prior spread x probe cost; report EVSI and the verdict."""
+    memory = DiscreteDistribution([250.0, 900.0, 2500.0], [0.3, 0.4, 0.3])
+    spreads = [1.5, 30.0] if quick else [1.5, 10.0, 30.0, 100.0]
+    probe_costs = [0.0, 400_000.0] if quick else [0.0, 2_000.0, 50_000.0, 400_000.0]
+    sample_size = 6 if quick else 12
+    max_buckets = 8 if quick else 12
+
+    table = ExperimentTable(
+        experiment_id="E14",
+        title=f"EVSI of sampling one selectivity ({sample_size}-row probe)",
+        columns=[
+            "prior_spread",
+            "probe_cost",
+            "E_without",
+            "E_with",
+            "evsi",
+            "net_benefit",
+            "sample",
+        ],
+    )
+    centre = 2e-7
+    # The probe observes a row-level property correlated with the join
+    # selectivity (e.g. the fraction of R rows with any S partner): a
+    # selectivity `spread`x above the centre makes ~spread x 25% of
+    # sampled rows match.  Join selectivities themselves (~1e-7 per row
+    # *pair*) are unobservable with small row samples.
+    match_prob = lambda s: min(1.0, 0.25 * s / centre)
+    for spread in spreads:
+        query = _query(spread)
+        for probe_cost in probe_costs:
+            dec = evaluate_sampling(
+                query,
+                "R=S",
+                memory,
+                sample_size=sample_size,
+                probe_cost_pages=probe_cost,
+                max_buckets=max_buckets,
+                match_prob=match_prob,
+            )
+            table.add(
+                prior_spread=spread,
+                probe_cost=probe_cost,
+                E_without=dec.cost_without,
+                E_with=dec.cost_with,
+                evsi=dec.evsi,
+                net_benefit=dec.net_benefit,
+                sample=dec.worthwhile,
+            )
+    table.notes = (
+        "EVSI is ~0 for narrow priors (the outcome cannot change the "
+        "plan) and grows with spread; the sampling verdict flips once "
+        "the probe costs more than the expected improvement — the "
+        "[SBM93] trade-off, quantified."
+    )
+    return [table]
+
+
+if __name__ == "__main__":
+    for t in run():
+        print(t)

@@ -1,0 +1,140 @@
+"""E16 — dependent parameters via a Bayesian network (Section 4).
+
+The paper's future-work direction: "It would be of interest to see to
+what extent we could extend our techniques to situations where there are
+some dependencies between the variables."  Here a latent *system load*
+couples available memory with a predicate's selectivity (busy periods
+mean both less memory and fresher, fatter data).  We sweep the coupling
+strength and compare, under the true dependent joint:
+
+* LSC at the marginal means;
+* Algorithm D with the independence assumption (the paper's default);
+* the Bayes-net-aware dependent optimizer (exact LEC under dependence);
+* the start-up variant: observe the load, optimize against the
+  conditioned joint.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import lsc_at_mean, optimize_algorithm_d
+from ..core.bayesnet import DiscreteBayesNet
+from ..costmodel.model import CostModel
+from ..optimizer.dependent import optimize_dependent, plan_expected_cost_dependent
+from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+from .harness import ExperimentTable
+
+__all__ = ["run"]
+
+
+def _net(strength: float) -> DiscreteBayesNet:
+    """Busy periods mean less memory *and* a fatter R=S join, together."""
+    net = DiscreteBayesNet()
+    net.add_node("load", [0.0, 1.0], probs=[0.55, 0.45])
+    lo, hi = 0.5 - strength / 2, 0.5 + strength / 2
+    net.add_node(
+        "M", [120.0, 5000.0], parents=["load"],
+        cpt={(0.0,): [lo, hi], (1.0,): [hi, lo]},
+    )
+    net.add_node(
+        "R=S", [4.35e-9, 7.53e-7], parents=["load"],
+        cpt={(0.0,): [hi, lo], (1.0,): [lo, hi]},
+    )
+    return net
+
+
+def _query() -> JoinQuery:
+    # Sized so that the plan joining R ⋈ S first is punished specifically
+    # when a fat intermediate coincides with scarce memory — the
+    # co-occurrence whose probability the independence assumption gets
+    # wrong.
+    return JoinQuery(
+        [
+            RelationSpec("R", pages=20_000.0),
+            RelationSpec("S", pages=3_000.0),
+            RelationSpec("T", pages=20_000.0),
+        ],
+        [
+            JoinPredicate("R", "S", selectivity=3.8e-7, label="R=S"),
+            JoinPredicate("S", "T", selectivity=6.77e-8, label="S=T"),
+        ],
+        rows_per_page=100,
+    )
+
+
+def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
+    """Sweep coupling strength; score every optimizer under the truth."""
+    query = _query()
+    strengths = [0.0, 0.9] if quick else [0.0, 0.3, 0.6, 0.9]
+    eval_cm = CostModel(count_evaluations=False)
+
+    table = ExperimentTable(
+        experiment_id="E16",
+        title="Correlated memory and selectivity (latent load variable)",
+        columns=[
+            "coupling",
+            "dependence_gap",
+            "E_lsc",
+            "E_independent_D",
+            "E_dependent",
+            "E_observe_load",
+            "indep_vs_dep",
+        ],
+    )
+    for strength in strengths:
+        net = _net(strength)
+        mem = net.marginal("M")
+        sel = net.marginal("R=S")
+
+        def score(plan) -> float:
+            return plan_expected_cost_dependent(
+                plan, query, net, cost_model=eval_cm
+            )
+
+        lsc = lsc_at_mean(query, mem)
+        q_ind = JoinQuery(
+            list(query.relations),
+            [
+                JoinPredicate(
+                    "R", "S", selectivity=sel.mean(),
+                    selectivity_dist=sel, label="R=S",
+                ),
+                query.predicates[1],
+            ],
+            rows_per_page=query.rows_per_page,
+        )
+        ind = optimize_algorithm_d(q_ind, mem, max_buckets=16)
+        dep = optimize_dependent(query, net)
+        # Start-up variant: observe load, optimize the conditioned joint.
+        e_observed = 0.0
+        load_marginal = net.marginal("load")
+        for load_value, prob in load_marginal.items():
+            conditioned = net.condition({"load": load_value})
+            choice = optimize_dependent(query, conditioned)
+            e_observed += prob * plan_expected_cost_dependent(
+                choice.plan, query, conditioned, cost_model=eval_cm
+            )
+
+        e_ind = score(ind.plan)
+        table.add(
+            coupling=strength,
+            dependence_gap=net.mutual_dependence("M", "R=S"),
+            E_lsc=score(lsc.plan),
+            E_independent_D=e_ind,
+            E_dependent=dep.objective,
+            E_observe_load=e_observed,
+            indep_vs_dep=e_ind / dep.objective,
+        )
+    table.notes = (
+        "At zero coupling the dependent optimizer reduces to Algorithm D; "
+        "as the load couples the parameters, the independence assumption "
+        "leaves measurable cost on the table and observing the latent "
+        "variable at start-up recovers more still."
+    )
+    return [table]
+
+
+if __name__ == "__main__":
+    for t in run():
+        print(t)

@@ -1,0 +1,111 @@
+"""E18 — robustness: what if the distribution itself is wrong?
+
+The LEC guarantee assumes "the distribution Pr is an accurate model of
+the distribution of the parameters that is encountered at run-time".
+This experiment stress-tests that assumption: the optimizer is handed a
+*distorted* memory distribution (mean shifted, or variance collapsed /
+inflated) and its plan is scored under the truth, against two anchors —
+the true-distribution LEC plan (oracle) and classical LSC at the believed
+mean.
+
+The question "what can we expect" when even the distribution is a guess:
+how fast does LEC's advantage erode with misspecification?
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..core import lsc_at_mean, optimize_algorithm_c
+from ..core.distributions import DiscreteDistribution, discretized_lognormal
+from ..costmodel.model import CostModel
+from ..workloads.queries import chain_query, star_query
+from .harness import ExperimentTable
+
+__all__ = ["run"]
+
+
+def _shift_mean(dist: DiscreteDistribution, factor: float) -> DiscreteDistribution:
+    return dist.scale(factor)
+
+
+def _scale_spread(dist: DiscreteDistribution, factor: float) -> DiscreteDistribution:
+    mean = dist.mean()
+    return dist.shift(-mean).scale(factor).shift(mean).clip(lo=8.0)
+
+
+def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
+    """Sweep distortion type x factor; report regret vs the oracle."""
+    n_queries = 4 if quick else 12
+    queries = []
+    for i in range(n_queries):
+        maker = chain_query if i % 2 == 0 else star_query
+        queries.append(
+            maker(
+                4,
+                np.random.default_rng(seed + 10 * i),
+                min_pages=300,
+                max_pages=300000,
+                require_order=True,
+            )
+        )
+    truth = discretized_lognormal(
+        1200.0, 1.2, n_buckets=8, rng=np.random.default_rng(seed + 999)
+    )
+    eval_cm = CostModel(count_evaluations=False)
+
+    distortions: Dict[str, Callable[[float], DiscreteDistribution]] = {
+        "mean x": lambda f: _shift_mean(truth, f),
+        "spread x": lambda f: _scale_spread(truth, f),
+    }
+    factors = [0.5, 1.0, 2.0] if quick else [0.25, 0.5, 1.0, 2.0, 4.0]
+
+    table = ExperimentTable(
+        experiment_id="E18",
+        title="LEC under a misspecified distribution, scored under the truth",
+        columns=[
+            "distortion",
+            "factor",
+            "lec_misspec_regret_pct",
+            "lsc_regret_pct",
+            "lec_still_beats_lsc",
+        ],
+    )
+    for name, distort in distortions.items():
+        for f in factors:
+            believed = distort(f)
+            lec_regret = []
+            lsc_regret = []
+            wins = 0
+            for q in queries:
+                oracle = optimize_algorithm_c(q, truth, cost_model=CostModel())
+                misspec = optimize_algorithm_c(q, believed, cost_model=CostModel())
+                lsc = lsc_at_mean(q, believed, cost_model=CostModel())
+                e_oracle = oracle.objective
+                e_mis = eval_cm.plan_expected_cost(misspec.plan, q, truth)
+                e_lsc = eval_cm.plan_expected_cost(lsc.plan, q, truth)
+                lec_regret.append(e_mis / e_oracle - 1.0)
+                lsc_regret.append(e_lsc / e_oracle - 1.0)
+                if e_mis <= e_lsc * (1 + 1e-9):
+                    wins += 1
+            table.add(
+                distortion=name,
+                factor=f,
+                lec_misspec_regret_pct=100.0 * float(np.mean(lec_regret)),
+                lsc_regret_pct=100.0 * float(np.mean(lsc_regret)),
+                lec_still_beats_lsc=wins / len(queries),
+            )
+    table.notes = (
+        "factor=1.0 is the well-specified case (zero regret by "
+        "definition).  LEC degrades gracefully: even substantially wrong "
+        "distributions usually beat collapsing to a point — a wrong "
+        "*shape* still encodes more truth than no shape at all."
+    )
+    return [table]
+
+
+if __name__ == "__main__":
+    for t in run():
+        print(t)

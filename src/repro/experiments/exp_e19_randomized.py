@@ -1,0 +1,100 @@
+"""E19 — randomized LEC optimization at scale ([Swa89, IK90]).
+
+"Randomized algorithms have also been proposed … they apply in our
+approach too": the expected-cost objective drops into iterative
+improvement and simulated annealing unchanged.  Where the DP is feasible
+we measure the randomized algorithms' regret against the exact LEC plan;
+beyond the DP's comfortable range we show they keep producing plans with
+bounded effort.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from ..core import optimize_algorithm_c
+from ..core.distributions import DiscreteDistribution
+from ..costmodel.model import CostModel
+from ..optimizer.randomized import iterative_improvement, simulated_annealing
+from ..workloads.queries import chain_query
+from .harness import ExperimentTable
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
+    """Regret vs the DP where feasible; scaling behaviour beyond it."""
+    memory = DiscreteDistribution([200.0, 900.0, 3000.0], [0.3, 0.4, 0.3])
+    small_sizes = [4, 5] if quick else [4, 5, 6]
+    big_sizes = [10] if quick else [10, 14]
+    n_queries = 3 if quick else 8
+    restarts = 4 if quick else 8
+
+    table = ExperimentTable(
+        experiment_id="E19",
+        title="Randomized LEC search: regret vs exact DP and scaling",
+        columns=[
+            "n_relations",
+            "algorithm",
+            "mean_regret_pct",
+            "frac_optimal",
+            "mean_evals",
+            "mean_time_ms",
+        ],
+    )
+    eval_cm = CostModel(count_evaluations=False)
+    for n in small_sizes + big_sizes:
+        exact_available = n in small_sizes
+        for algo_name in ("iterative improvement", "simulated annealing"):
+            regrets = []
+            optimal = 0
+            evals = []
+            times = []
+            for i in range(n_queries):
+                q = chain_query(
+                    n, np.random.default_rng(seed + 31 * i + n),
+                    min_pages=200, max_pages=200000,
+                )
+                objective = (
+                    lambda p, _q=q: eval_cm.plan_expected_cost(p, _q, memory)
+                )
+                rng = np.random.default_rng(seed + 997 * i + n)
+                t0 = time.perf_counter()
+                if algo_name == "iterative improvement":
+                    res = iterative_improvement(
+                        q, objective, rng, n_restarts=restarts
+                    )
+                else:
+                    res = simulated_annealing(q, objective, rng)
+                times.append(1000 * (time.perf_counter() - t0))
+                evals.append(res.evaluations)
+                if exact_available:
+                    dp = optimize_algorithm_c(q, memory, cost_model=CostModel())
+                    regrets.append(res.objective / dp.objective - 1.0)
+                    if res.objective <= dp.objective * (1 + 1e-9):
+                        optimal += 1
+            table.add(
+                n_relations=n,
+                algorithm=algo_name,
+                mean_regret_pct=(
+                    100.0 * float(np.mean(regrets)) if regrets else float("nan")
+                ),
+                frac_optimal=(optimal / n_queries) if exact_available else float("nan"),
+                mean_evals=float(np.mean(evals)),
+                mean_time_ms=float(np.mean(times)),
+            )
+    table.notes = (
+        "Against the exact DP the randomized algorithms are (near-)optimal "
+        "on small queries; past the DP's range they keep running with "
+        "bounded plan evaluations — the [Swa89]/[IK90] promise carried "
+        "over to the expected-cost objective unchanged."
+    )
+    return [table]
+
+
+if __name__ == "__main__":
+    for t in run():
+        print(t)

@@ -1,0 +1,122 @@
+"""E20 — the cardinality feedback loop, closed on real executions.
+
+"We believe that the statistics can be enhanced to provide reasonable
+estimates of the relevant probabilities" — here the statistics enhance
+*themselves*: the catalog starts with a badly biased selectivity
+estimate, every execution feeds measured join cardinalities back, and
+the optimizer re-plans from the learned distributions.  Reported per
+batch: the estimate's remaining error, the measured page I/Os of the
+chosen plan, and the regret against an oracle planner that knows the
+true selectivities from the start.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..catalog.feedback import SelectivityFeedback
+from ..db import Database
+from ..plans.query import JoinPredicate, JoinQuery
+from ..workloads.datagen import ColumnSpec
+from .harness import ExperimentTable
+
+__all__ = ["run"]
+
+BIAS = 200.0  # the catalog's initial selectivity estimate is 200x too high
+
+
+def _build_db() -> Database:
+    db = Database(rows_per_page=20)
+    # fact.sel_id points into a 1000-value domain of which dim_sel covers
+    # only 0..99: the fact ⋈ dim_sel join is truly ~10x selective, the
+    # fact ⋈ dim_all join matches every row.  Joining dim_sel first is
+    # therefore the right order — unless the estimate hides it.
+    db.generate_table(
+        "fact",
+        8000,
+        [
+            ColumnSpec("id", "serial"),
+            ColumnSpec("sel_id", "fk", domain=1000),
+            ColumnSpec("all_id", "fk", domain=10),
+        ],
+        seed=11,
+    )
+    db.create_table("dim_sel", ["id"], [(i,) for i in range(100)])
+    db.create_table("dim_all", ["id"], [(i,) for i in range(10)])
+    return db
+
+
+def _biased(query: JoinQuery) -> JoinQuery:
+    """Inflate the selective predicate's estimate so it looks worthless."""
+    preds = []
+    for p in query.predicates:
+        sel = p.selectivity
+        if "sel_id" in (p.label or ""):
+            sel = min(1.0, sel * BIAS)
+        preds.append(
+            JoinPredicate(left=p.left, right=p.right, selectivity=sel, label=p.label)
+        )
+    return JoinQuery(
+        list(query.relations), preds, rows_per_page=query.rows_per_page
+    )
+
+
+def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
+    """Run successive batches; watch error and regret shrink."""
+    db = _build_db()
+    on = {
+        ("fact", "dim_sel"): ("sel_id", "id"),
+        ("fact", "dim_all"): ("all_id", "id"),
+    }
+    true_query = db.join_query(["fact", "dim_sel", "dim_all"], on)
+    start_query = _biased(true_query)
+    memory_pages = 12
+    n_batches = 3 if quick else 6
+
+    # Oracle: plan with the catalog's (accurate) estimates.
+    oracle_plan = db.optimize(true_query, float(memory_pages)).plan
+    oracle_io = db.execute(oracle_plan, memory_pages=memory_pages).io.total
+
+    feedback = SelectivityFeedback(n_buckets=5, min_observations=2)
+    table = ExperimentTable(
+        experiment_id="E20",
+        title=f"Feedback loop ({BIAS:.0f}x biased initial estimate, "
+        f"oracle plan costs {oracle_io} I/Os)",
+        columns=[
+            "batch",
+            "est_error_x",
+            "measured_io",
+            "regret_vs_oracle",
+            "plan",
+        ],
+    )
+    truth = {p.label: p.selectivity for p in true_query.predicates}
+    for batch in range(n_batches):
+        believed = feedback.apply_to_query(start_query)
+        chosen = db.optimize(believed, float(memory_pages)).plan
+        out = db.execute(chosen, memory_pages=memory_pages, feedback=feedback)
+        errors = []
+        for p in believed.predicates:
+            errors.append(
+                max(p.selectivity / truth[p.label], truth[p.label] / p.selectivity)
+            )
+        table.add(
+            batch=batch,
+            est_error_x=float(np.max(errors)),
+            measured_io=out.io.total,
+            regret_vs_oracle=out.io.total / oracle_io,
+            plan=chosen.signature()[:40],
+        )
+    table.notes = (
+        "The first batch plans on the biased estimate; measured "
+        "cardinalities pull the estimate onto the truth within a batch or "
+        "two and the measured I/O converges to the oracle's."
+    )
+    return [table]
+
+
+if __name__ == "__main__":
+    for t in run():
+        print(t)

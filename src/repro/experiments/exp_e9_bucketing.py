@@ -1,0 +1,90 @@
+"""E9 — bucketing strategies (claim C9, Section 3.7).
+
+A fine-grained "true" memory distribution is coarsened to ``b`` buckets
+by different strategies before Algorithm C runs; the chosen plan is then
+scored under the *fine* distribution.  Level-set bucketing — boundaries
+at the cost formulas' breakpoints — should reach zero regret with a
+handful of buckets, while equal-width/equal-depth need many to stumble
+onto the discontinuities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..core import optimize_algorithm_c
+from ..core.bucketing import (
+    collect_memory_breakpoints,
+    equal_depth_buckets,
+    equal_width_buckets,
+    level_set_buckets,
+    refine_adaptive,
+)
+from ..core.distributions import DiscreteDistribution, discretized_lognormal
+from ..costmodel import CostModel, DEFAULT_METHODS
+from ..optimizer import enumerate_left_deep_plans
+from ..workloads.scenarios import warehouse_star
+from .harness import ExperimentTable
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
+    """Sweep bucket budget per strategy; report regret vs the fine truth."""
+    query, _ = warehouse_star()
+    fine = discretized_lognormal(
+        1100.0, 1.2, n_buckets=48 if quick else 200,
+        rng=np.random.default_rng(seed),
+    )
+    eval_cm = CostModel(count_evaluations=False)
+
+    truth = optimize_algorithm_c(query, fine, cost_model=CostModel())
+    e_true = eval_cm.plan_expected_cost(truth.plan, query, fine)
+
+    breakpoints = collect_memory_breakpoints(query, DEFAULT_METHODS)
+    candidate_plans = list(
+        enumerate_left_deep_plans(query, DEFAULT_METHODS)
+    )
+    # Adaptive refinement scores buckets by candidate-plan cost spread;
+    # use a small representative plan set to keep it honest but cheap.
+    probe_plans = candidate_plans[:: max(1, len(candidate_plans) // 8)]
+    cost_fns: List[Callable[[float], float]] = [
+        (lambda m, _p=p: eval_cm.plan_cost(_p, query, m)) for p in probe_plans
+    ]
+
+    strategies: Dict[str, Callable[[int], DiscreteDistribution]] = {
+        "equal-width": lambda b: equal_width_buckets(fine, b),
+        "equal-depth": lambda b: equal_depth_buckets(fine, b),
+        "level-set": lambda b: level_set_buckets(fine, breakpoints, max_buckets=b),
+        "adaptive": lambda b: refine_adaptive(fine, cost_fns, b),
+    }
+    budgets = [1, 2, 4, 8] if quick else [1, 2, 3, 4, 6, 8, 12, 16]
+
+    table = ExperimentTable(
+        experiment_id="E9",
+        title="Regret of Algorithm C under coarsened memory distributions",
+        columns=["b", "strategy", "buckets_used", "regret_pct"],
+    )
+    for b in budgets:
+        for name, make in strategies.items():
+            coarse = make(b)
+            res = optimize_algorithm_c(query, coarse, cost_model=CostModel())
+            e_chosen = eval_cm.plan_expected_cost(res.plan, query, fine)
+            table.add(
+                b=b,
+                strategy=name,
+                buckets_used=coarse.n_buckets,
+                regret_pct=100.0 * (e_chosen / e_true - 1.0),
+            )
+    table.notes = (
+        "b=1 is the LSC special case.  Breakpoint-aware strategies reach "
+        "zero regret with far fewer buckets than naive partitions."
+    )
+    return [table]
+
+
+if __name__ == "__main__":
+    for t in run():
+        print(t)

@@ -1,0 +1,120 @@
+"""Experiment harness: result tables, formatting, and the registry.
+
+Each experiment module exposes ``run(quick=False, seed=0)`` returning one
+or more :class:`ExperimentTable` objects — the library's stand-in for the
+paper's tables and figures (see DESIGN.md for the E1..E20 index).  The
+registry lets both the CLI (``python -m repro.experiments``) and the
+pytest-benchmark harness drive experiments uniformly.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["ExperimentTable", "format_table", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass
+class ExperimentTable:
+    """A rectangular result: the unit of experimental output.
+
+    ``rows`` are dicts keyed by column name; ``columns`` fixes display
+    order.  ``notes`` carries the headline observation (the caption).
+    """
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **values: object) -> None:
+        """Append a row (unknown keys are rejected to catch typos)."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or 0 < abs(value) < 1e-3:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render an aligned text table with title and caption."""
+    header = [str(c) for c in table.columns]
+    body = [[_fmt(row.get(c, "")) for c in table.columns] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {table.experiment_id}: {table.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    if table.notes:
+        lines.append(f"-- {table.notes}")
+    return "\n".join(lines)
+
+
+#: Registry: experiment id -> module path (each module defines run()).
+EXPERIMENTS: Dict[str, str] = {
+    "E1": "repro.experiments.exp_e1_motivating",
+    "E2": "repro.experiments.exp_e2_variability",
+    "E3": "repro.experiments.exp_e3_ladder",
+    "E4": "repro.experiments.exp_e4_overhead",
+    "E5": "repro.experiments.exp_e5_dynamic",
+    "E6": "repro.experiments.exp_e6_multiparam",
+    "E7": "repro.experiments.exp_e7_fastcost",
+    "E8": "repro.experiments.exp_e8_topc",
+    "E9": "repro.experiments.exp_e9_bucketing",
+    "E10": "repro.experiments.exp_e10_risk",
+    "E11": "repro.experiments.exp_e11_executor",
+    "E12": "repro.experiments.exp_e12_montecarlo",
+    "E13": "repro.experiments.exp_e13_strategies",
+    "E14": "repro.experiments.exp_e14_sampling",
+    "E15": "repro.experiments.exp_e15_reoptimize",
+    "E16": "repro.experiments.exp_e16_dependence",
+    "E17": "repro.experiments.exp_e17_pipelining",
+    "E18": "repro.experiments.exp_e18_misspecification",
+    "E19": "repro.experiments.exp_e19_randomized",
+    "E20": "repro.experiments.exp_e20_feedback",
+}
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = False, seed: int = 0
+) -> List[ExperimentTable]:
+    """Run one experiment by id; returns its tables."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[key])
+    result = module.run(quick=quick, seed=seed)
+    if isinstance(result, ExperimentTable):
+        return [result]
+    return list(result)

@@ -1,0 +1,47 @@
+"""System-R engine: DP over the subset dag, costers, top-k, ground truth."""
+
+from .costers import (
+    Coster,
+    ExpectedCoster,
+    MarkovCoster,
+    MultiParamCoster,
+    PointCoster,
+)
+from .dependent import (
+    BayesNetCoster,
+    optimize_dependent,
+    plan_expected_cost_dependent,
+)
+from .exhaustive import enumerate_left_deep_plans, exhaustive_best
+from .randomized import (
+    RandomizedResult,
+    iterative_improvement,
+    simulated_annealing,
+)
+from .result import OptimizationResult, OptimizerStats, PlanChoice
+from .systemr import DPEntry, SystemRDP
+from .topk import MergeResult, TopKList, merge_top_combinations
+
+__all__ = [
+    "SystemRDP",
+    "DPEntry",
+    "Coster",
+    "PointCoster",
+    "ExpectedCoster",
+    "MarkovCoster",
+    "MultiParamCoster",
+    "OptimizationResult",
+    "OptimizerStats",
+    "PlanChoice",
+    "TopKList",
+    "MergeResult",
+    "merge_top_combinations",
+    "enumerate_left_deep_plans",
+    "exhaustive_best",
+    "BayesNetCoster",
+    "optimize_dependent",
+    "plan_expected_cost_dependent",
+    "RandomizedResult",
+    "iterative_improvement",
+    "simulated_annealing",
+]

@@ -1,0 +1,325 @@
+"""Costers: the objective plugged into the System-R dynamic program.
+
+The DP engine (:mod:`repro.optimizer.systemr`) is generic over *how a
+step is costed*; each of the paper's settings is one :class:`Coster`:
+
+* :class:`PointCoster` — Φ at one fixed parameter setting.  This is the
+  LSC baseline (Theorem 2.1) and, run once per bucket, the inner loop of
+  Algorithms A and B.
+* :class:`ExpectedCoster` — ``E_M[Φ]`` with static random memory: the
+  exact-LEC Algorithm C (Theorem 3.3).
+* :class:`MarkovCoster` — dynamic memory: each join phase is costed
+  against the chain's marginal distribution for that phase
+  (Theorem 3.4).
+* :class:`MultiParamCoster` — Algorithm D: memory, input sizes and
+  selectivities all distributional; carries a page-count distribution per
+  relation subset and takes expectations over (M, |L|, |R|) triples,
+  either naively or via the linear-time paths of
+  :mod:`repro.core.expected_cost`.
+
+Every coster exposes the same five hooks (access, join step, intermediate
+write, final sort, result pages), all returning scalars in the coster's
+objective; because every objective is an expectation, DP additivity and
+hence optimality is preserved.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Optional
+
+from ..core.distributions import DiscreteDistribution, point_mass
+from ..core.expected_cost import (
+    FAST_METHODS,
+    _SurvivalTable,
+    expected_external_sort_cost,
+    expected_join_cost_fast,
+    expected_join_cost_naive,
+)
+from ..core.markov import MarkovParameter
+from ..costmodel.estimates import subset_size, subset_size_distribution
+from ..costmodel.model import CostModel
+from ..plans.nodes import Scan
+from ..plans.properties import JoinMethod
+from ..plans.query import JoinQuery
+
+__all__ = [
+    "Coster",
+    "PointCoster",
+    "ExpectedCoster",
+    "MarkovCoster",
+    "MultiParamCoster",
+]
+
+
+class Coster(abc.ABC):
+    """Objective-specific costing of DP steps.
+
+    Call :meth:`bind` with the query before use; the engine does this.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.query: Optional[JoinQuery] = None
+
+    def bind(self, query: JoinQuery) -> None:
+        """Attach the query and precompute anything reusable."""
+        self.query = query
+
+    @property
+    def methods(self):
+        """Join methods available to the engine."""
+        return self.cost_model.methods
+
+    # -- hooks ---------------------------------------------------------
+
+    def access_cost(self, scan: Scan) -> float:
+        """Cost of the leaf access path (memory independent)."""
+        assert self.query is not None
+        return self.cost_model.scan_node_cost(scan, self.query)
+
+    @abc.abstractmethod
+    def join_step_cost(
+        self,
+        method: JoinMethod,
+        left_rels: FrozenSet[str],
+        right_rels: FrozenSet[str],
+        phase: int,
+        left_presorted: bool = False,
+        right_presorted: bool = False,
+    ) -> float:
+        """Objective value of joining two relation subsets with ``method``.
+
+        The presorted flags grant sort-merge its interesting-order credit
+        when an input already carries the join's sort order.
+        """
+
+    def _join_formula(
+        self,
+        method: JoinMethod,
+        left_pages: float,
+        right_pages: float,
+        memory: float,
+        left_presorted: bool,
+        right_presorted: bool,
+    ) -> float:
+        """Dispatch to the order-aware SM formula when credit applies."""
+        if method is JoinMethod.SORT_MERGE and (left_presorted or right_presorted):
+            return self.cost_model.sort_merge_cost_ordered(
+                left_pages, right_pages, memory, left_presorted, right_presorted
+            )
+        return self.cost_model.join_cost(method, left_pages, right_pages, memory)
+
+    @abc.abstractmethod
+    def write_cost(self, rels: FrozenSet[str]) -> float:
+        """Objective value of materialising the subset's result pages."""
+
+    @abc.abstractmethod
+    def final_sort_cost(self, rels: FrozenSet[str], phase: int) -> float:
+        """Objective value of the enforcer sort over the subset's result."""
+
+    # -- shared helpers --------------------------------------------------
+
+    def _pages(self, rels: FrozenSet[str]) -> float:
+        assert self.query is not None
+        return subset_size(rels, self.query).pages
+
+    def supports_bushy(self) -> bool:
+        """Whether this objective is well-defined for bushy plans."""
+        return True
+
+
+class PointCoster(Coster):
+    """Φ at a single parameter setting — the LSC view.
+
+    ``memory`` is the one specific value the classical optimizer assumes
+    (the mean or mode of the true distribution).
+    """
+
+    def __init__(self, memory: float, cost_model: Optional[CostModel] = None):
+        super().__init__(cost_model)
+        if memory <= 0:
+            raise ValueError("memory must be positive")
+        self.memory = float(memory)
+
+    def join_step_cost(
+        self, method, left_rels, right_rels, phase,
+        left_presorted=False, right_presorted=False,
+    ):
+        return self._join_formula(
+            method,
+            self._pages(left_rels),
+            self._pages(right_rels),
+            self.memory,
+            left_presorted,
+            right_presorted,
+        )
+
+    def write_cost(self, rels):
+        return self._pages(rels)
+
+    def final_sort_cost(self, rels, phase):
+        return self.cost_model.sort_cost(self._pages(rels), self.memory)
+
+
+class ExpectedCoster(Coster):
+    """``E_M[Φ]`` with static random memory — Algorithm C's objective."""
+
+    def __init__(
+        self,
+        memory: DiscreteDistribution,
+        cost_model: Optional[CostModel] = None,
+    ):
+        super().__init__(cost_model)
+        self.memory = memory
+
+    def join_step_cost(
+        self, method, left_rels, right_rels, phase,
+        left_presorted=False, right_presorted=False,
+    ):
+        lp = self._pages(left_rels)
+        rp = self._pages(right_rels)
+        return self.memory.expectation(
+            lambda m: self._join_formula(
+                method, lp, rp, m, left_presorted, right_presorted
+            )
+        )
+
+    def write_cost(self, rels):
+        return self._pages(rels)
+
+    def final_sort_cost(self, rels, phase):
+        pages = self._pages(rels)
+        return self.memory.expectation(
+            lambda m: self.cost_model.sort_cost(pages, m)
+        )
+
+
+class MarkovCoster(Coster):
+    """Dynamic memory: phase ``k`` costed under the chain's ``marginal(k)``.
+
+    Exact for left-deep plans because every candidate for a subset of size
+    ``s`` schedules its joins in the same phases ``0..s-2`` and
+    expectation distributes over the phase-cost sum (Theorem 3.4).
+    """
+
+    def __init__(
+        self,
+        chain: MarkovParameter,
+        cost_model: Optional[CostModel] = None,
+    ):
+        super().__init__(cost_model)
+        if self.cost_model.pipelined_methods:
+            raise ValueError(
+                "pipelined joins merge execution phases; the per-phase "
+                "Markov objective does not support them"
+            )
+        self.chain = chain
+
+    def join_step_cost(
+        self, method, left_rels, right_rels, phase,
+        left_presorted=False, right_presorted=False,
+    ):
+        lp = self._pages(left_rels)
+        rp = self._pages(right_rels)
+        marginal = self.chain.marginal(phase)
+        return marginal.expectation(
+            lambda m: self._join_formula(
+                method, lp, rp, m, left_presorted, right_presorted
+            )
+        )
+
+    def write_cost(self, rels):
+        return self._pages(rels)
+
+    def final_sort_cost(self, rels, phase):
+        pages = self._pages(rels)
+        marginal = self.chain.marginal(phase)
+        return marginal.expectation(
+            lambda m: self.cost_model.sort_cost(pages, m)
+        )
+
+    def supports_bushy(self) -> bool:
+        """Bushy trees have no canonical phase order; restrict to left-deep."""
+        return False
+
+
+class MultiParamCoster(Coster):
+    """Algorithm D: sizes and selectivities uncertain alongside memory.
+
+    Per dag node the paper carries exactly four distributions — memory,
+    ``|B_j|``, ``|A_j|`` and the join selectivity.  Here the first three
+    feed :meth:`join_step_cost` (a triple-bucket expectation) and the
+    fourth is folded into the cached subset size distributions.
+
+    Parameters
+    ----------
+    memory:
+        Static memory distribution.
+    max_buckets:
+        Rebucketing width for propagated size distributions
+        (Section 3.6.3).
+    fast:
+        Use the linear-time expected-cost paths where available instead
+        of the naive ``b_M·b_L·b_R`` loop.
+    """
+
+    def __init__(
+        self,
+        memory: DiscreteDistribution,
+        cost_model: Optional[CostModel] = None,
+        max_buckets: int = 16,
+        fast: bool = False,
+    ):
+        super().__init__(cost_model)
+        self.memory = memory
+        self.max_buckets = max_buckets
+        self.fast = fast
+        self._survival = _SurvivalTable(memory)
+        self._size_cache: Dict[FrozenSet[str], DiscreteDistribution] = {}
+
+    def bind(self, query: JoinQuery) -> None:
+        super().bind(query)
+        self._size_cache.clear()
+
+    def size_distribution(self, rels: FrozenSet[str]) -> DiscreteDistribution:
+        """Cached page-count distribution of a relation subset."""
+        assert self.query is not None
+        rels = frozenset(rels)
+        if rels not in self._size_cache:
+            self._size_cache[rels] = subset_size_distribution(
+                rels, self.query, max_buckets=self.max_buckets
+            )
+        return self._size_cache[rels]
+
+    def join_step_cost(
+        self, method, left_rels, right_rels, phase,
+        left_presorted=False, right_presorted=False,
+    ):
+        ld = self.size_distribution(left_rels)
+        rd = self.size_distribution(right_rels)
+        presorted = left_presorted or right_presorted
+        if self.fast and method in FAST_METHODS and not presorted:
+            return expected_join_cost_fast(
+                method, ld, rd, self.memory, survival=self._survival
+            )
+        if not presorted:
+            return expected_join_cost_naive(
+                self.cost_model.join_cost, method, ld, rd, self.memory
+            )
+        # Order-aware sort-merge: no linear-time path; triple loop with
+        # the presorted formula.
+        def fn(_method, l, r, m):
+            return self._join_formula(
+                _method, l, r, m, left_presorted, right_presorted
+            )
+
+        return expected_join_cost_naive(fn, method, ld, rd, self.memory)
+
+    def write_cost(self, rels):
+        return self.size_distribution(rels).mean()
+
+    def final_sort_cost(self, rels, phase):
+        return expected_external_sort_cost(
+            self.size_distribution(rels), self.memory, self.cost_model.sort_cost
+        )

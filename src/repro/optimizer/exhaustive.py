@@ -1,0 +1,130 @@
+"""Exhaustive plan enumeration: the ground truth for small queries.
+
+The correctness experiments (E3, and the Theorem 3.3/3.4 tests) need the
+*true* LEC plan to compare against.  For small ``n`` we can afford to
+enumerate every left-deep plan — all join orders × all method vectors ×
+the optional enforcer sort — and evaluate an arbitrary objective on each.
+
+The enumerator is deliberately independent of the DP engine (different
+code path, plan built directly from the permutation) so agreement between
+the two is meaningful evidence of correctness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.properties import AccessPath, JoinMethod
+from ..plans.query import JoinQuery
+from .result import PlanChoice
+
+__all__ = [
+    "enumerate_left_deep_plans",
+    "exhaustive_best",
+    "MAX_EXHAUSTIVE_RELATIONS",
+]
+
+#: Safety cap: n! · |methods|^(n-1) plans beyond this is unreasonable.
+MAX_EXHAUSTIVE_RELATIONS = 8
+
+
+def enumerate_left_deep_plans(
+    query: JoinQuery,
+    methods: Sequence[JoinMethod],
+    allow_cross_products: bool = False,
+    enforce_order: bool = True,
+) -> Iterator[Plan]:
+    """Yield every left-deep plan for ``query``.
+
+    Join orders that would require a cross product (the prefix is not
+    connected to the next relation) are skipped unless
+    ``allow_cross_products``.  When the query has a ``required_order`` and
+    the plan does not naturally produce it, an enforcer sort is appended
+    (``enforce_order=True``), mirroring what the DP engine emits.
+    """
+    names = query.relation_names()
+    if len(names) > MAX_EXHAUSTIVE_RELATIONS:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} relations exhaustively "
+            f"(cap is {MAX_EXHAUSTIVE_RELATIONS})"
+        )
+    scan_choices = {name: _access_paths(name, query) for name in names}
+    if len(names) == 1:
+        for scan in scan_choices[names[0]]:
+            yield Plan(scan)
+        return
+    for perm in itertools.permutations(names):
+        labels = _labels_for(perm, query, allow_cross_products)
+        if labels is None:
+            continue
+        n_joins = len(perm) - 1
+        for method_vec in itertools.product(methods, repeat=n_joins):
+            for scans in itertools.product(*(scan_choices[n] for n in perm)):
+                node: PlanNode = scans[0]
+                for i in range(n_joins):
+                    node = Join(
+                        left=node,
+                        right=scans[i + 1],
+                        method=method_vec[i],
+                        predicate_label=labels[i][0],
+                        order_label=labels[i][1],
+                    )
+                if (
+                    enforce_order
+                    and query.required_order is not None
+                    and node.order != query.required_order
+                ):
+                    node = Sort(child=node, sort_order=query.required_order)
+                yield Plan(node)
+
+
+def _access_paths(name: str, query: JoinQuery) -> List[Scan]:
+    """Candidate scan leaves for one relation (mirrors the DP's choices)."""
+    paths = [Scan(table=name)]
+    if query.relation(name).has_index_path():
+        paths.append(Scan(table=name, access=AccessPath.INDEX_SCAN))
+    return paths
+
+
+def _labels_for(
+    perm: Tuple[str, ...], query: JoinQuery, allow_cross_products: bool
+) -> Optional[List[Tuple[str, Optional[str]]]]:
+    """(label, order_label) per join of the permutation; None if invalid."""
+    labels: List[Tuple[str, Optional[str]]] = []
+    group = frozenset((perm[0],))
+    for newcomer in perm[1:]:
+        preds = query.predicates_between(group, newcomer)
+        if preds:
+            labels.append((preds[0].label, preds[0].order_label))
+        elif allow_cross_products:
+            labels.append((f"cross[{newcomer}]", None))
+        else:
+            return None
+        group = group | {newcomer}
+    return labels
+
+
+def exhaustive_best(
+    query: JoinQuery,
+    objective: Callable[[Plan], float],
+    methods: Sequence[JoinMethod],
+    allow_cross_products: bool = False,
+) -> Tuple[PlanChoice, List[PlanChoice]]:
+    """Evaluate ``objective`` on every left-deep plan; return best and all.
+
+    The returned list is sorted ascending by objective, so ``[0]`` is the
+    true optimum over the left-deep space and the tail gives regret curves
+    for the approximation experiments.
+    """
+    scored = [
+        PlanChoice(plan=p, objective=objective(p))
+        for p in enumerate_left_deep_plans(
+            query, methods, allow_cross_products=allow_cross_products
+        )
+    ]
+    if not scored:
+        raise ValueError("no valid left-deep plans for this query")
+    scored.sort(key=lambda c: c.objective)
+    return scored[0], scored

@@ -1,0 +1,247 @@
+"""Randomized join-order search under any LEC objective.
+
+Section 1 of the paper: dynamic programming handles the plan-space
+explosion, "although randomized algorithms have also been proposed
+[Swa89, IK90].  As we shall see, they apply in our approach too."  This
+module makes good on that: iterative improvement and simulated annealing
+over left-deep plans, generic over an *objective function* — a point
+cost, an expected cost, a Markov objective, a risk score — so every
+uncertainty model in the library scales past the DP's exponential
+subset table.
+
+Moves (the classic set):
+
+* ``swap`` — exchange two relations in the join order;
+* ``cycle`` — rotate three positions;
+* ``method`` — change one join's physical method.
+
+Orders that would require a cross product are rejected during move
+generation (unless allowed), keeping the walk inside the connected
+space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..costmodel.model import DEFAULT_METHODS, CostModel
+from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.properties import JoinMethod
+from ..plans.query import JoinQuery
+from .result import OptimizationResult, OptimizerStats, PlanChoice
+
+__all__ = ["RandomizedResult", "iterative_improvement", "simulated_annealing"]
+
+Objective = Callable[[Plan], float]
+
+
+@dataclass
+class _State:
+    order: List[str]
+    methods: List[JoinMethod]
+
+
+@dataclass
+class RandomizedResult:
+    """Outcome of a randomized search."""
+
+    best: PlanChoice
+    evaluations: int
+    restarts: int
+
+    @property
+    def plan(self) -> Plan:
+        """Shortcut to the chosen plan."""
+        return self.best.plan
+
+    @property
+    def objective(self) -> float:
+        """Shortcut to the chosen plan's objective value."""
+        return self.best.objective
+
+
+def _build_plan(state: _State, query: JoinQuery) -> Optional[Plan]:
+    """Left-deep plan from an order + method vector; None if disconnected."""
+    node: PlanNode = Scan(table=state.order[0])
+    group = frozenset((state.order[0],))
+    for rel, method in zip(state.order[1:], state.methods):
+        preds = query.predicates_between(group, rel)
+        if not preds:
+            return None
+        node = Join(
+            left=node,
+            right=Scan(table=rel),
+            method=method,
+            predicate_label=preds[0].label,
+            order_label=preds[0].order_label,
+        )
+        group = group | {rel}
+    if query.required_order is not None and node.order != query.required_order:
+        node = Sort(child=node, sort_order=query.required_order)
+    return Plan(node)
+
+
+def _random_state(
+    query: JoinQuery, methods: Sequence[JoinMethod], rng: np.random.Generator
+) -> _State:
+    """A uniformly random *connected* left-deep order."""
+    names = query.relation_names()
+    order = [names[int(rng.integers(len(names)))]]
+    remaining = set(names) - set(order)
+    while remaining:
+        group = frozenset(order)
+        candidates = [
+            r for r in remaining if query.predicates_between(group, r)
+        ]
+        if not candidates:
+            # Disconnected graph: give up gracefully (caller validates).
+            candidates = sorted(remaining)
+        pick = candidates[int(rng.integers(len(candidates)))]
+        order.append(pick)
+        remaining.discard(pick)
+    method_vec = [
+        methods[int(rng.integers(len(methods)))] for _ in range(len(names) - 1)
+    ]
+    return _State(order=order, methods=method_vec)
+
+
+def _neighbours(
+    state: _State,
+    query: JoinQuery,
+    methods: Sequence[JoinMethod],
+    rng: np.random.Generator,
+    n_samples: int,
+) -> List[_State]:
+    """Sample random neighbour states via swap / cycle / method moves."""
+    n = len(state.order)
+    out: List[_State] = []
+    for _ in range(n_samples):
+        kind = rng.integers(3)
+        order = list(state.order)
+        method_vec = list(state.methods)
+        if kind == 0 and n >= 2:  # swap
+            i, j = rng.choice(n, size=2, replace=False)
+            order[i], order[j] = order[j], order[i]
+        elif kind == 1 and n >= 3:  # 3-cycle
+            i, j, k = rng.choice(n, size=3, replace=False)
+            order[i], order[j], order[k] = order[j], order[k], order[i]
+        else:  # method change
+            if not method_vec:
+                continue
+            pos = int(rng.integers(len(method_vec)))
+            method_vec[pos] = methods[int(rng.integers(len(methods)))]
+        out.append(_State(order=order, methods=method_vec))
+    return out
+
+
+def iterative_improvement(
+    query: JoinQuery,
+    objective: Objective,
+    rng: np.random.Generator,
+    methods: Sequence[JoinMethod] = DEFAULT_METHODS,
+    n_restarts: int = 8,
+    moves_per_step: Optional[int] = None,
+    max_steps: int = 200,
+) -> RandomizedResult:
+    """Multi-start hill climbing over left-deep plans.
+
+    From each random start, repeatedly samples neighbour moves and takes
+    the first strict improvement; a state is declared a local minimum
+    only after ``moves_per_step`` sampled moves (default ``8·n``, scaling
+    with the neighbourhood size) fail to improve it.  The cheapest local
+    minimum across restarts wins.  ``objective`` maps a plan to the
+    scalar to minimise (e.g. ``lambda p: cm.plan_expected_cost(p, q, mem)``).
+    """
+    if not query.is_connected():
+        raise ValueError("randomized search requires a connected join graph")
+    if moves_per_step is None:
+        moves_per_step = 8 * query.n_relations
+    best_plan: Optional[Plan] = None
+    best_cost = math.inf
+    evaluations = 0
+    for _ in range(max(1, n_restarts)):
+        state = _random_state(query, methods, rng)
+        plan = _build_plan(state, query)
+        if plan is None:
+            continue
+        cost = objective(plan)
+        evaluations += 1
+        for _ in range(max_steps):
+            improved = False
+            for cand in _neighbours(state, query, methods, rng, moves_per_step):
+                cand_plan = _build_plan(cand, query)
+                if cand_plan is None:
+                    continue
+                cand_cost = objective(cand_plan)
+                evaluations += 1
+                if cand_cost < cost:
+                    state, plan, cost = cand, cand_plan, cand_cost
+                    improved = True
+                    break
+            if not improved:
+                break
+        if cost < best_cost:
+            best_cost, best_plan = cost, plan
+    if best_plan is None:
+        raise ValueError("no valid left-deep plan found")
+    return RandomizedResult(
+        best=PlanChoice(plan=best_plan, objective=best_cost),
+        evaluations=evaluations,
+        restarts=n_restarts,
+    )
+
+
+def simulated_annealing(
+    query: JoinQuery,
+    objective: Objective,
+    rng: np.random.Generator,
+    methods: Sequence[JoinMethod] = DEFAULT_METHODS,
+    initial_temperature: Optional[float] = None,
+    cooling: float = 0.92,
+    steps_per_temperature: int = 30,
+    min_temperature_ratio: float = 1e-3,
+) -> RandomizedResult:
+    """Simulated annealing ([IK90]-style) over left-deep plans.
+
+    Accepts uphill moves with probability ``exp(-delta / T)``; the
+    temperature starts at the initial plan's cost (unless given) and
+    decays geometrically.  Tracks and returns the best plan ever seen.
+    """
+    if not query.is_connected():
+        raise ValueError("randomized search requires a connected join graph")
+    if not 0.0 < cooling < 1.0:
+        raise ValueError("cooling must be in (0, 1)")
+    state = _random_state(query, methods, rng)
+    plan = _build_plan(state, query)
+    if plan is None:
+        raise ValueError("no valid starting plan")
+    cost = objective(plan)
+    evaluations = 1
+    best_plan, best_cost = plan, cost
+    temperature = initial_temperature if initial_temperature else max(cost, 1.0)
+    floor = temperature * min_temperature_ratio
+    while temperature > floor:
+        for _ in range(steps_per_temperature):
+            cands = _neighbours(state, query, methods, rng, 1)
+            if not cands:
+                continue
+            cand_plan = _build_plan(cands[0], query)
+            if cand_plan is None:
+                continue
+            cand_cost = objective(cand_plan)
+            evaluations += 1
+            delta = cand_cost - cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                state, plan, cost = cands[0], cand_plan, cand_cost
+                if cost < best_cost:
+                    best_plan, best_cost = plan, cost
+        temperature *= cooling
+    return RandomizedResult(
+        best=PlanChoice(plan=best_plan, objective=best_cost),
+        evaluations=evaluations,
+        restarts=1,
+    )

@@ -1,0 +1,288 @@
+"""The System-R dynamic program, generic over the costing objective.
+
+This is the engine of Section 2.2, working on the subset dag: node ``S``
+holds the best plan(s) for computing ``⋈_{i∈S} A_i``.  Everything the
+paper varies — point vs. expected vs. phase-marginal vs. multi-parameter
+costing — is injected through a :class:`~repro.optimizer.costers.Coster`,
+so Theorem 2.1 (LSC), Theorem 3.3 (Algorithm C) and Theorem 3.4 (dynamic
+parameters) are all instances of this one dynamic program.
+
+Bookkeeping details that matter for fidelity:
+
+* **DP invariant.** An entry's cost covers its whole subtree *except* the
+  write of its own (top) output; extending a subplan charges that write,
+  and the root pays it only when an enforcer sort must re-read the result.
+  This matches :meth:`repro.costmodel.model.CostModel.plan_cost` exactly.
+* **Interesting orders.** Entries are kept per ``(subset, order)`` pair,
+  so a sort-merge plan that delivers the query's required order survives
+  even when a hash plan is cheaper before the final sort is accounted.
+* **Top-k.** With ``top_k = c > 1`` the engine retains the top ``c``
+  entries per (subset, order) and combines candidate lists with the
+  Proposition 3.1 merge — this is Algorithm B's candidate generator.
+* **Plan spaces.** ``"left-deep"`` reproduces the paper's search space;
+  ``"bushy"`` enumerates all partitions (the extension the paper defers).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.properties import JoinMethod, order_from_join
+from ..plans.query import JoinQuery, QueryError
+from .costers import Coster
+from .result import OptimizationResult, OptimizerStats, PlanChoice
+from .topk import TopKList, merge_top_combinations
+
+__all__ = ["SystemRDP", "DPEntry"]
+
+
+@dataclass(frozen=True)
+class DPEntry:
+    """One retained subplan for a dag node.
+
+    ``cost`` excludes the write of the entry's own output (see module
+    docstring); ``order`` is the output order label, if any.
+    """
+
+    node: PlanNode
+    cost: float
+    order: Optional[str]
+
+
+class SystemRDP:
+    """Bottom-up join-order optimizer over the subset dag.
+
+    Parameters
+    ----------
+    coster:
+        Objective: point (LSC), expected (LEC), Markov, or multi-param.
+    plan_space:
+        ``"left-deep"`` (paper heuristic 2) or ``"bushy"``.
+    allow_cross_products:
+        Permit joining subsets with no connecting predicate (selectivity
+        1 "trivially true" predicate, per the paper's expository device).
+    top_k:
+        Plans retained per (subset, order); ``> 1`` enables Algorithm B's
+        candidate generation.
+    """
+
+    def __init__(
+        self,
+        coster: Coster,
+        plan_space: str = "left-deep",
+        allow_cross_products: bool = False,
+        top_k: int = 1,
+    ):
+        if plan_space not in ("left-deep", "bushy"):
+            raise ValueError(f"unknown plan space {plan_space!r}")
+        if plan_space == "bushy" and not coster.supports_bushy():
+            raise ValueError(
+                f"{type(coster).__name__} does not support bushy plans"
+            )
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.coster = coster
+        self.plan_space = plan_space
+        self.allow_cross_products = allow_cross_products
+        self.top_k = top_k
+
+    # ------------------------------------------------------------------
+
+    def optimize(self, query: JoinQuery) -> OptimizationResult:
+        """Run the dynamic program and return the chosen plan.
+
+        With ``top_k > 1`` the result's ``candidates`` list holds the top
+        ``k`` complete plans (best first); otherwise just the winner.
+        """
+        self.coster.bind(query)
+        stats = OptimizerStats()
+        evals_before = self.coster.cost_model.eval_count
+
+        names = query.relation_names()
+        table: Dict[FrozenSet[str], Dict[Optional[str], TopKList[DPEntry]]] = {}
+
+        # Depth 1: access paths for the stored relations.  A relation with
+        # an index over its local filter gets two candidate paths; the
+        # per-(subset, order) TopKList keeps the best (or the top k).
+        from ..plans.properties import AccessPath
+
+        for name in names:
+            paths = [Scan(table=name)]
+            if query.relation(name).has_index_path():
+                paths.append(Scan(table=name, access=AccessPath.INDEX_SCAN))
+            bucket = TopKList(self.top_k)
+            for scan in paths:
+                entry = DPEntry(
+                    node=scan, cost=self.coster.access_cost(scan), order=None
+                )
+                bucket.offer(entry.cost, entry)
+                stats.entries_offered += 1
+            table[frozenset((name,))] = {None: bucket}
+
+        # Depths 2..n.
+        for size in range(2, len(names) + 1):
+            for combo in itertools.combinations(names, size):
+                subset = frozenset(combo)
+                if not self.allow_cross_products and not query.is_connected(subset):
+                    continue
+                self._build_subset(subset, query, table, stats)
+
+        full = frozenset(names)
+        if full not in table or not self._entries_of(table, full):
+            raise QueryError(
+                "no plan found: the join graph is disconnected "
+                "(pass allow_cross_products=True to permit cross joins)"
+            )
+
+        choices = self._finalize(full, query, table)
+        stats.subsets_explored = sum(1 for s in table if self._entries_of(table, s))
+        stats.formula_evaluations = self.coster.cost_model.eval_count - evals_before
+        best = choices[0]
+        kept = choices[: self.top_k] if self.top_k > 1 else [best]
+        return OptimizationResult(best=best, candidates=kept, stats=stats)
+
+    # ------------------------------------------------------------------
+    # DP internals
+    # ------------------------------------------------------------------
+
+    def _build_subset(
+        self,
+        subset: FrozenSet[str],
+        query: JoinQuery,
+        table: Dict[FrozenSet[str], Dict[Optional[str], TopKList[DPEntry]]],
+        stats: OptimizerStats,
+    ) -> None:
+        buckets: Dict[Optional[str], TopKList[DPEntry]] = {}
+        phase = len(subset) - 2
+        for left_rels, right_rels in self._partitions(subset):
+            if left_rels not in table or right_rels not in table:
+                continue
+            preds = [
+                p
+                for p in query.predicates_within(subset)
+                if (p.left in left_rels) != (p.right in left_rels)
+            ]
+            if not preds and not self.allow_cross_products:
+                continue
+            if preds:
+                label = preds[0].label
+                order_target: Optional[str] = preds[0].order_label
+            else:
+                label = f"cross[{min(right_rels)}]"
+                order_target = None
+            left_write = (
+                self.coster.write_cost(left_rels) if len(left_rels) > 1 else 0.0
+            )
+            right_write = (
+                self.coster.write_cost(right_rels) if len(right_rels) > 1 else 0.0
+            )
+            pipelined = self.coster.cost_model.pipelined_methods
+            # Interesting orders: an input whose order matches this join's
+            # order label earns sort-merge credit, so inputs must be
+            # combined *per order group* — pooling across orders could
+            # discard an order-carrying subplan that wins downstream.
+            step_cache: Dict[tuple, float] = {}
+            for lorder, lbucket in table[left_rels].items():
+                for rorder, rbucket in table[right_rels].items():
+                    left_entries = [e for _, e in lbucket.items()]
+                    right_entries = [e for _, e in rbucket.items()]
+                    if not left_entries or not right_entries:
+                        continue
+                    lsorted = order_target is not None and lorder == order_target
+                    rsorted = order_target is not None and rorder == order_target
+                    merged = merge_top_combinations(
+                        [e.cost for e in left_entries],
+                        [e.cost for e in right_entries],
+                        self.top_k,
+                    )
+                    stats.merge_probes += merged.probes
+                    for method in self.coster.methods:
+                        key = (method, lsorted, rsorted)
+                        if key not in step_cache:
+                            step_cache[key] = self.coster.join_step_cost(
+                                method,
+                                left_rels,
+                                right_rels,
+                                phase,
+                                left_presorted=lsorted,
+                                right_presorted=rsorted,
+                            )
+                        step = step_cache[key]
+                        # A pipelined nested-loop join streams its outer
+                        # (left) input: no materialisation write for it.
+                        write_children = right_write + (
+                            0.0 if method in pipelined else left_write
+                        )
+                        order = order_from_join(
+                            method, order_target if order_target else label
+                        )
+                        bucket = buckets.setdefault(order, TopKList(self.top_k))
+                        for combined, li, ri in merged.combinations:
+                            total = combined + step + write_children
+                            node = Join(
+                                left=left_entries[li].node,
+                                right=right_entries[ri].node,
+                                method=method,
+                                predicate_label=label,
+                                order_label=order_target,
+                            )
+                            bucket.offer(
+                                total, DPEntry(node=node, cost=total, order=order)
+                            )
+                            stats.entries_offered += 1
+        if buckets:
+            table[subset] = buckets
+
+    def _partitions(
+        self, subset: FrozenSet[str]
+    ) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+        """Ordered (left, right) splits of ``subset`` for the plan space."""
+        members = sorted(subset)
+        if self.plan_space == "left-deep":
+            return [
+                (subset - {m}, frozenset((m,)))
+                for m in members
+            ]
+        # Bushy: all ordered pairs of complementary non-empty subsets.  The
+        # ordered enumeration matters because nested-loop cost is
+        # asymmetric in outer/inner.
+        out: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+        n = len(members)
+        for mask in range(1, (1 << n) - 1):
+            left = frozenset(members[i] for i in range(n) if mask & (1 << i))
+            out.append((left, subset - left))
+        return out
+
+    @staticmethod
+    def _entries_of(table, subset) -> List[DPEntry]:
+        if subset not in table:
+            return []
+        out: List[DPEntry] = []
+        for bucket in table[subset].values():
+            out.extend(entry for _, entry in bucket.items())
+        return out
+
+    def _finalize(
+        self,
+        full: FrozenSet[str],
+        query: JoinQuery,
+        table,
+    ) -> List[PlanChoice]:
+        """Apply required-order enforcement and rank complete plans."""
+        phase = max(0, len(full) - 2)
+        needs_order = query.required_order is not None and len(full) > 1
+        choices: List[PlanChoice] = []
+        for order, bucket in table[full].items():
+            for cost, entry in bucket.items():
+                total = cost
+                node: PlanNode = entry.node
+                if needs_order and entry.order != query.required_order:
+                    total += self.coster.write_cost(full)
+                    total += self.coster.final_sort_cost(full, phase)
+                    node = Sort(child=node, sort_order=query.required_order)
+                choices.append(PlanChoice(plan=Plan(node), objective=total))
+        choices.sort(key=lambda c: c.objective)
+        return choices

@@ -1,0 +1,129 @@
+"""Top-k plan bookkeeping and the Proposition 3.1 combination merge.
+
+Algorithm B extends the System-R dynamic program to retain the top ``c``
+plans per dag node instead of the single best.  Combining the top ``c``
+subplans for ``S_j`` with the top ``c`` access plans for ``A_j`` looks
+like ``c²`` work, but Proposition 3.1 shows that because both lists are
+sorted and the combined cost is the *sum* of the parts, only pairs
+``(i, k)`` with ``i·k <= c`` can make the top ``c`` — at most
+``c + c·ln c`` probes.  :func:`merge_top_combinations` implements exactly
+that probe set and reports how many probes it made, which experiment E8
+checks against the bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["TopKList", "merge_top_combinations", "MergeResult"]
+
+T = TypeVar("T")
+
+
+class TopKList(Generic[T]):
+    """Maintains the ``k`` lowest-cost items seen, sorted ascending.
+
+    Insertion is O(k) (the lists involved are tiny: ``k`` is the paper's
+    ``c``, a small constant), and ties are broken by insertion order so
+    results are deterministic.
+    """
+
+    __slots__ = ("k", "_items", "_counter")
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._items: List[Tuple[float, int, T]] = []
+        self._counter = 0
+
+    def offer(self, cost: float, item: T) -> bool:
+        """Insert if the item makes the current top k; return whether it did."""
+        if len(self._items) == self.k and cost >= self._items[-1][0]:
+            return False
+        entry = (cost, self._counter, item)
+        self._counter += 1
+        lo, hi = 0, len(self._items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._items[mid][:2] < entry[:2]:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._items.insert(lo, entry)
+        if len(self._items) > self.k:
+            self._items.pop()
+        return True
+
+    def worst_cost(self) -> Optional[float]:
+        """Cost of the k-th item, or None when fewer than k are held."""
+        if len(self._items) < self.k:
+            return None
+        return self._items[-1][0]
+
+    def items(self) -> List[Tuple[float, T]]:
+        """The held items as ``(cost, item)`` pairs, ascending cost."""
+        return [(c, it) for c, _, it in self._items]
+
+    def best(self) -> Tuple[float, T]:
+        """The single cheapest item; raises when empty."""
+        if not self._items:
+            raise IndexError("TopKList is empty")
+        c, _, it = self._items[0]
+        return c, it
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+@dataclass
+class MergeResult(Generic[T]):
+    """Output of :func:`merge_top_combinations`.
+
+    Attributes
+    ----------
+    combinations:
+        Up to ``c`` ``(cost, left_index, right_index)`` triples, ascending.
+    probes:
+        Number of candidate pairs whose cost was computed — bounded by
+        ``c + c·ln c`` (Proposition 3.1) and by ``len(left)·len(right)``.
+    """
+
+    combinations: List[Tuple[float, int, int]]
+    probes: int
+
+
+def merge_top_combinations(
+    left_costs: Sequence[float],
+    right_costs: Sequence[float],
+    c: int,
+) -> MergeResult:
+    """Top ``c`` sums ``left_costs[i] + right_costs[k]`` via Prop 3.1.
+
+    Both inputs must be sorted ascending.  Only pairs with
+    ``(i+1)·(k+1) <= c`` are probed: any pair beyond that frontier is
+    dominated by at least ``c`` cheaper pairs, so it cannot appear in the
+    answer.
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    for name, seq in (("left_costs", left_costs), ("right_costs", right_costs)):
+        for a, b in zip(seq, seq[1:]):
+            if b < a:
+                raise ValueError(f"{name} must be sorted ascending")
+    top: TopKList[Tuple[int, int]] = TopKList(c)
+    probes = 0
+    for i, lc in enumerate(left_costs, start=1):
+        max_k = c // i
+        if max_k == 0:
+            break
+        for k, rc in enumerate(right_costs[:max_k], start=1):
+            probes += 1
+            top.offer(lc + rc, (i - 1, k - 1))
+    combos = [(cost, ij[0], ij[1]) for cost, ij in top.items()]
+    return MergeResult(combinations=combos, probes=probes)

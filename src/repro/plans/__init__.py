@@ -1,0 +1,20 @@
+"""Plan algebra: physical plan trees, properties and logical queries."""
+
+from .nodes import Join, Plan, PlanNode, Scan, Sort, left_deep_plan
+from .properties import AccessPath, JoinMethod
+from .query import JoinPredicate, JoinQuery, QueryError, RelationSpec
+
+__all__ = [
+    "Plan",
+    "PlanNode",
+    "Scan",
+    "Join",
+    "Sort",
+    "left_deep_plan",
+    "JoinMethod",
+    "AccessPath",
+    "JoinQuery",
+    "JoinPredicate",
+    "RelationSpec",
+    "QueryError",
+]

@@ -1,0 +1,61 @@
+"""Physical-plan properties: join methods, access paths, sort orders.
+
+Sort orders are plain string labels.  A sort-merge join over the predicate
+labelled ``"A.x=B.x"`` produces output ordered by that label; a query's
+``required_order`` is satisfied when the root plan's order label matches.
+This is the minimal "interesting orders" machinery System R needs: the
+classic Example-1.1 trade-off (sort-merge delivers the order for free,
+Grace hash needs an explicit sort) falls out of it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["JoinMethod", "AccessPath", "PIPELINE_BREAKERS"]
+
+
+class JoinMethod(enum.Enum):
+    """Binary join algorithms the optimizer may pick.
+
+    The first three carry the paper's simplified Shapiro-style cost
+    formulas; ``BLOCK_NESTED_LOOP`` and ``HYBRID_HASH`` are the standard
+    refinements, included as optional methods for the extension
+    experiments.
+    """
+
+    NESTED_LOOP = "NL"
+    SORT_MERGE = "SM"
+    GRACE_HASH = "GH"
+    BLOCK_NESTED_LOOP = "BNL"
+    HYBRID_HASH = "HH"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AccessPath(enum.Enum):
+    """How a base relation is read."""
+
+    FULL_SCAN = "scan"
+    INDEX_SCAN = "index"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Join methods whose output is materialised before the parent reads it
+#: (all of them, under this library's phase-per-join execution model).
+PIPELINE_BREAKERS = frozenset(JoinMethod)
+
+
+def order_from_join(method: JoinMethod, predicate_label: str) -> str | None:
+    """Sort order produced by a join, if any.
+
+    Sort-merge joins emit rows ordered by the join key; the other methods
+    produce no useful order (nested loop preserves outer order only at the
+    page level, which is not a tuple order guarantee we model).
+    """
+    if method is JoinMethod.SORT_MERGE:
+        return predicate_label
+    return None

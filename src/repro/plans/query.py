@@ -1,0 +1,324 @@
+"""Logical join queries: the optimizer's input.
+
+A :class:`JoinQuery` is a SELECT-PROJECT-JOIN block: a set of relations
+with sizes, a set of (equi)join predicates with selectivities, and an
+optional required output order.  Every quantity that the LEC framework
+treats as uncertain can be supplied either as a point estimate (the LSC
+view) or as a :class:`~repro.core.distributions.DiscreteDistribution`
+(the LEC view); accessors expose both, defaulting the distribution to a
+point mass when only the point is known.
+
+``from_catalog`` builds a query from the schema/statistics substrate, so
+end-to-end examples can start from tables and histograms rather than
+hand-written numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..catalog.schema import Catalog
+from ..catalog.statistics import StatisticsCatalog
+from ..core.distributions import DiscreteDistribution, point_mass
+
+__all__ = ["IndexInfo", "RelationSpec", "JoinPredicate", "JoinQuery", "QueryError"]
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries (unknown relations, disconnected graphs)."""
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """An index usable to evaluate a relation's local filter predicate.
+
+    ``height`` is the number of levels probed (one page I/O each);
+    ``clustered`` controls whether matching rows are contiguous in the
+    base table.
+    """
+
+    height: int = 2
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise QueryError("index height must be >= 1")
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One input relation.
+
+    ``pages`` is the point size estimate used by LSC; ``pages_dist``
+    (optional) is the distributional size used by Algorithm D.  ``rows``
+    defaults to ``pages * rows_per_page`` of the owning query.
+    ``filter_selectivity`` is a local predicate applied during the scan;
+    when ``index`` is given, the optimizer additionally considers an
+    index-scan access path for evaluating that filter (the System-R
+    "best plan to access each of the individual relations" step).
+    """
+
+    name: str
+    pages: float
+    rows: Optional[float] = None
+    pages_dist: Optional[DiscreteDistribution] = None
+    filter_selectivity: float = 1.0
+    index: Optional[IndexInfo] = None
+
+    def __post_init__(self) -> None:
+        if self.pages < 0:
+            raise QueryError(f"relation {self.name!r} has negative page count")
+        if not 0.0 <= self.filter_selectivity <= 1.0:
+            raise QueryError("filter_selectivity must be in [0, 1]")
+
+    def has_index_path(self) -> bool:
+        """True when an index-scan access path should be considered."""
+        return self.index is not None and self.filter_selectivity < 1.0
+
+    def pages_distribution(self) -> DiscreteDistribution:
+        """Size in pages as a distribution (point mass if not uncertain)."""
+        if self.pages_dist is not None:
+            return self.pages_dist
+        return point_mass(float(self.pages))
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equijoin predicate between two relations.
+
+    ``selectivity`` is the point estimate; ``selectivity_dist`` the
+    distributional one.  ``label`` identifies the predicate for interesting
+    orders (a sort-merge join over this predicate yields order ``label``).
+    ``equiv_class`` optionally names the *attribute equivalence class* the
+    predicate equates (e.g. several chain predicates all on column ``x``):
+    predicates in the same class produce interchangeable sort orders, so a
+    sort-merge join's output can arrive presorted at a later sort-merge
+    join of the same class — the full interesting-orders effect.
+    ``result_pages_override`` pins the output size of a join that applies
+    exactly this predicate, which scenario reconstructions (Example 1.1's
+    "the result has 3000 pages") use instead of selectivity arithmetic.
+    """
+
+    left: str
+    right: str
+    selectivity: float
+    label: Optional[str] = None
+    selectivity_dist: Optional[DiscreteDistribution] = None
+    result_pages_override: Optional[float] = None
+    equiv_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise QueryError(
+                f"selectivity of {self.left}-{self.right} must be in [0, 1]"
+            )
+        if self.label is None:
+            canon = "=".join(sorted((self.left, self.right)))
+            object.__setattr__(self, "label", canon)
+
+    @property
+    def order_label(self) -> str:
+        """Sort-order label an SM join over this predicate produces."""
+        return self.equiv_class if self.equiv_class is not None else self.label  # type: ignore[return-value]
+
+    def connects(self, a: str, b: str) -> bool:
+        """True when this predicate links relations ``a`` and ``b``."""
+        return {self.left, self.right} == {a, b}
+
+    def touches(self, rels: FrozenSet[str]) -> bool:
+        """True when both endpoints lie inside ``rels``."""
+        return self.left in rels and self.right in rels
+
+    def selectivity_distribution(self) -> DiscreteDistribution:
+        """Selectivity as a distribution (point mass if not uncertain)."""
+        if self.selectivity_dist is not None:
+            return self.selectivity_dist
+        return point_mass(self.selectivity)
+
+
+class JoinQuery:
+    """A join query over named relations.
+
+    Parameters
+    ----------
+    relations:
+        The input relations.
+    predicates:
+        Join predicates.  Relations not linked by any predicate can only
+        be combined via cross products (disabled by default in the
+        optimizer).
+    required_order:
+        Optional order label the final result must satisfy (a predicate
+        label); when the chosen plan does not produce it, an enforcer
+        sort is appended.
+    rows_per_page:
+        Conversion factor between rows and pages for intermediates.
+    """
+
+    def __init__(
+        self,
+        relations: Sequence[RelationSpec],
+        predicates: Sequence[JoinPredicate] = (),
+        required_order: Optional[str] = None,
+        rows_per_page: int = 100,
+    ):
+        if not relations:
+            raise QueryError("a query needs at least one relation")
+        names = [r.name for r in relations]
+        if len(set(names)) != len(names):
+            raise QueryError("duplicate relation names in query")
+        self.relations: Tuple[RelationSpec, ...] = tuple(relations)
+        self.predicates: Tuple[JoinPredicate, ...] = tuple(predicates)
+        self.required_order = required_order
+        if rows_per_page <= 0:
+            raise QueryError("rows_per_page must be positive")
+        self.rows_per_page = rows_per_page
+        self._by_name: Dict[str, RelationSpec] = {r.name: r for r in self.relations}
+        known = set(names)
+        for p in self.predicates:
+            if p.left not in known or p.right not in known:
+                raise QueryError(
+                    f"predicate {p.label!r} references unknown relation"
+                )
+            if p.left == p.right:
+                raise QueryError(f"predicate {p.label!r} is a self-join loop")
+        if required_order is not None:
+            labels = {p.label for p in self.predicates} | {
+                p.order_label for p in self.predicates
+            }
+            if required_order not in labels:
+                raise QueryError(
+                    f"required_order {required_order!r} is not a predicate "
+                    "label or order equivalence class"
+                )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    @property
+    def n_relations(self) -> int:
+        """Number of input relations."""
+        return len(self.relations)
+
+    def relation(self, name: str) -> RelationSpec:
+        """Relation spec by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise QueryError(f"no relation {name!r} in query") from None
+
+    def relation_names(self) -> List[str]:
+        """Relation names in declaration order."""
+        return [r.name for r in self.relations]
+
+    def rows_of(self, name: str) -> float:
+        """Point row-count estimate of a relation (after local filter)."""
+        spec = self.relation(name)
+        base = spec.rows if spec.rows is not None else spec.pages * self.rows_per_page
+        return base * spec.filter_selectivity
+
+    def pages_of(self, name: str) -> float:
+        """Point page-count estimate of a relation (after local filter)."""
+        spec = self.relation(name)
+        return max(1.0, spec.pages * spec.filter_selectivity) if spec.pages else 0.0
+
+    def predicates_within(self, rels: FrozenSet[str]) -> List[JoinPredicate]:
+        """All predicates whose endpoints both lie in ``rels``."""
+        return [p for p in self.predicates if p.touches(rels)]
+
+    def predicates_between(
+        self, group: FrozenSet[str], newcomer: str
+    ) -> List[JoinPredicate]:
+        """Predicates linking ``newcomer`` to any relation in ``group``."""
+        return [
+            p
+            for p in self.predicates
+            if (p.left == newcomer and p.right in group)
+            or (p.right == newcomer and p.left in group)
+        ]
+
+    def is_connected(self, rels: Optional[FrozenSet[str]] = None) -> bool:
+        """True when the join graph restricted to ``rels`` is connected."""
+        if rels is None:
+            rels = frozenset(self._by_name)
+        rels = frozenset(rels)
+        if len(rels) <= 1:
+            return True
+        adj: Dict[str, Set[str]] = {r: set() for r in rels}
+        for p in self.predicates:
+            if p.left in rels and p.right in rels:
+                adj[p.left].add(p.right)
+                adj[p.right].add(p.left)
+        seen = {next(iter(rels))}
+        frontier = list(seen)
+        while frontier:
+            cur = frontier.pop()
+            for nxt in adj[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen == rels
+
+    def has_uncertain_sizes(self) -> bool:
+        """True when any relation size or selectivity is distributional."""
+        if any(r.pages_dist is not None for r in self.relations):
+            return True
+        return any(p.selectivity_dist is not None for p in self.predicates)
+
+    # ------------------------------------------------------------------
+    # Construction from the catalog substrate
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_catalog(
+        cls,
+        stats: StatisticsCatalog,
+        tables: Sequence[str],
+        join_columns: Mapping[Tuple[str, str], Tuple[str, str]],
+        required_order: Optional[str] = None,
+        rows_per_page: Optional[int] = None,
+    ) -> "JoinQuery":
+        """Build a query from catalog statistics.
+
+        ``join_columns`` maps a pair of table names to the pair of column
+        names they equijoin on; selectivities come from the classical
+        ``1/max(V)`` rule using the catalog's distinct counts.
+        """
+        relations = []
+        rpp = rows_per_page
+        for t in tables:
+            ts = stats.table_stats(t)
+            relations.append(
+                RelationSpec(
+                    name=t,
+                    pages=float(ts.n_pages),
+                    rows=float(ts.n_rows),
+                    pages_dist=ts.size_distribution,
+                )
+            )
+            if rpp is None and ts.n_pages:
+                rpp = max(1, round(ts.n_rows / ts.n_pages))
+        predicates = []
+        for (ta, tb), (ca, cb) in join_columns.items():
+            sel = stats.join_selectivity(ta, tb, ca, cb)
+            predicates.append(
+                JoinPredicate(
+                    left=ta,
+                    right=tb,
+                    selectivity=sel,
+                    label=f"{ta}.{ca}={tb}.{cb}",
+                )
+            )
+        return cls(
+            relations,
+            predicates,
+            required_order=required_order,
+            rows_per_page=rpp or 100,
+        )
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{r.name}({r.pages:g}p)" for r in self.relations)
+        return f"JoinQuery([{rels}], {len(self.predicates)} predicates)"

@@ -1,0 +1,36 @@
+"""Deferred-decision strategies from the paper's Section 2.3 survey.
+
+Implemented as comparable baselines against compile-time LEC:
+
+* parametric optimization ([INSS92]) and the LEC-parametric hybrid;
+* choose-plan / choice-node plans resolved at start-up ([GC94]);
+* mid-execution re-optimization on observed statistics ([KD98]/[UFA98]);
+* the expected-value-of-sampling decision ([SBM93]).
+"""
+
+from .choice_nodes import ChoicePlan, build_choice_plan
+from .parametric import ParametricPlanSet, parametric_optimize, precompute_lec_plans
+from .reoptimize import (
+    AdaptiveExecutionResult,
+    PhaseRecord,
+    run_with_reoptimization,
+)
+from .sampling_decision import (
+    SamplingDecision,
+    evaluate_sampling,
+    posterior_given_outcome,
+)
+
+__all__ = [
+    "ParametricPlanSet",
+    "parametric_optimize",
+    "precompute_lec_plans",
+    "ChoicePlan",
+    "build_choice_plan",
+    "AdaptiveExecutionResult",
+    "PhaseRecord",
+    "run_with_reoptimization",
+    "SamplingDecision",
+    "evaluate_sampling",
+    "posterior_given_outcome",
+]

@@ -1,0 +1,254 @@
+"""Mid-execution re-optimization ([KD98]-style, Section 2.3).
+
+The run-time strategy the paper surveys for parameters that cannot be
+known even at start-up (true predicate selectivities): annotate the plan
+with the optimizer's expected intermediate-result sizes, compare them
+with the *measured* sizes during execution, and when the deviation is
+significant, stop and re-optimize the remainder of the query with the
+corrected statistics.
+
+This module simulates that protocol on the cost model: execution proceeds
+join phase by join phase against a "true world" query (actual sizes and
+selectivities) while the optimizer only ever sees its estimates — updated
+with each materialised intermediate it has observed.  Unlike [KD98]'s
+restart, completed work is kept and only the remaining joins are
+re-planned (closer to [UFA98]'s forward-progress scrambling); the
+difference is documented in DESIGN.md.
+
+Limitations (documented): plans must be left-deep, and required output
+orders are not tracked across re-planning — the E15 experiment uses
+order-free queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..costmodel.estimates import subset_size
+from ..costmodel.model import CostModel
+from ..optimizer.exhaustive import enumerate_left_deep_plans
+from ..plans.nodes import Plan
+from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+
+__all__ = ["PhaseRecord", "AdaptiveExecutionResult", "run_with_reoptimization"]
+
+#: Name given to the materialised intermediate when re-planning.
+INTERMEDIATE = "__intermediate"
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One executed join phase."""
+
+    joined: Tuple[str, ...]
+    method: str
+    memory: float
+    cost: float
+    estimated_out_pages: float
+    actual_out_pages: float
+    triggered_reoptimization: bool
+
+
+@dataclass
+class AdaptiveExecutionResult:
+    """Outcome of one simulated adaptive execution."""
+
+    realized_cost: float
+    n_reoptimizations: int
+    phases: List[PhaseRecord] = field(default_factory=list)
+    reoptimization_evals: int = 0
+
+
+def _deviation(actual: float, estimated: float) -> float:
+    if actual <= 0 or estimated <= 0:
+        return float("inf")
+    return max(actual / estimated, estimated / actual)
+
+
+def _remainder_query(
+    est_query: JoinQuery,
+    joined: FrozenSet[str],
+    actual_pages: float,
+) -> Tuple[JoinQuery, Dict[str, str]]:
+    """Build the optimizer's view of the remaining work.
+
+    The materialised intermediate becomes a base relation with its
+    *observed* size; remaining base relations keep their estimated specs;
+    predicates crossing the frontier are re-rooted at the intermediate
+    (selectivities multiplied when several cross to the same relation).
+    Returns the query and a map from new predicate labels to original.
+    """
+    remaining = [r for r in est_query.relations if r.name not in joined]
+    specs = [
+        RelationSpec(name=INTERMEDIATE, pages=max(1.0, actual_pages))
+    ] + list(remaining)
+    label_map: Dict[str, str] = {}
+    cross: Dict[str, float] = {}
+    cross_labels: Dict[str, str] = {}
+    preds: List[JoinPredicate] = []
+    for p in est_query.predicates:
+        left_in = p.left in joined
+        right_in = p.right in joined
+        if left_in and right_in:
+            continue  # already applied
+        if not left_in and not right_in:
+            preds.append(p)
+            continue
+        outside = p.right if left_in else p.left
+        cross[outside] = cross.get(outside, 1.0) * p.selectivity
+        cross_labels.setdefault(outside, p.label)
+    for outside, sel in cross.items():
+        label = f"{INTERMEDIATE}={outside}"
+        label_map[label] = cross_labels[outside]
+        preds.append(
+            JoinPredicate(
+                left=INTERMEDIATE,
+                right=outside,
+                selectivity=min(1.0, sel),
+                label=label,
+            )
+        )
+    return (
+        JoinQuery(specs, preds, rows_per_page=est_query.rows_per_page),
+        label_map,
+    )
+
+
+def run_with_reoptimization(
+    est_query: JoinQuery,
+    true_query: JoinQuery,
+    initial_plan: Plan,
+    memory_trace: Sequence[float],
+    cost_model: Optional[CostModel] = None,
+    deviation_threshold: float = 2.0,
+    enabled: bool = True,
+    reoptimizer: Optional[Callable[[JoinQuery, float], Plan]] = None,
+) -> AdaptiveExecutionResult:
+    """Simulate executing ``initial_plan`` with [KD98]-style monitoring.
+
+    Parameters
+    ----------
+    est_query / true_query:
+        The optimizer's estimated statistics vs the world's actual ones
+        (same relations and predicates; sizes/selectivities may differ).
+    initial_plan:
+        Left-deep plan chosen at compile time from ``est_query``.
+    memory_trace:
+        Actual memory per executed join phase (length >= number of joins).
+    deviation_threshold:
+        Re-optimize when ``max(actual/est, est/actual)`` of a
+        materialised intermediate's page count exceeds this.
+    enabled:
+        ``False`` runs the plan to completion without monitoring (the
+        static baseline, useful for paired comparisons).
+    reoptimizer:
+        Strategy for re-planning the remainder given (remainder query,
+        current memory); defaults to LSC at the observed memory.
+    """
+    if not initial_plan.is_left_deep():
+        raise ValueError("adaptive execution supports left-deep plans only")
+    cm = cost_model if cost_model is not None else CostModel()
+    if reoptimizer is None:
+        def reoptimizer(q: JoinQuery, memory: float) -> Plan:
+            return _replan_from_intermediate(q, memory, cm)
+
+    order = initial_plan.join_order()
+    methods = [j.method for j in initial_plan.joins()]
+    n_joins = len(methods)
+    if len(memory_trace) < n_joins:
+        raise ValueError(f"need {n_joins} phase memories")
+
+    evals_before = cm.eval_count
+    result = AdaptiveExecutionResult(realized_cost=0.0, n_reoptimizations=0)
+
+    # State: which true relations are joined, actual/estimated sizes of
+    # the current intermediate, and the pending (order, methods) schedule.
+    joined: FrozenSet[str] = frozenset((order[0],))
+    est_view = est_query  # the optimizer's current statistics view
+    est_subset: FrozenSet[str] = frozenset((order[0],))
+    pending = list(zip(order[1:], methods))
+    phase = 0
+
+    while pending:
+        next_rel, method = pending.pop(0)
+        memory = float(memory_trace[phase])
+
+        # Actual input sizes come from the true world.
+        left_actual = subset_size(joined, true_query).pages
+        right_actual = subset_size(frozenset((next_rel,)), true_query).pages
+
+        new_joined = joined | {next_rel}
+        actual_out = subset_size(new_joined, true_query).pages
+
+        # The optimizer's expectation for this output, under its view.
+        new_est_subset = est_subset | {next_rel}
+        est_out = subset_size(new_est_subset, est_view).pages
+
+        cost = cm.join_cost(method, left_actual, right_actual, memory)
+        is_last = not pending
+        if not is_last:
+            cost += actual_out  # materialise the intermediate
+        result.realized_cost += cost
+
+        deviated = (
+            enabled
+            and not is_last
+            and _deviation(actual_out, est_out) > deviation_threshold
+        )
+        result.phases.append(
+            PhaseRecord(
+                joined=tuple(sorted(new_joined)),
+                method=method.value,
+                memory=memory,
+                cost=cost,
+                estimated_out_pages=est_out,
+                actual_out_pages=actual_out,
+                triggered_reoptimization=deviated,
+            )
+        )
+        joined = new_joined
+        est_subset = new_est_subset
+        phase += 1
+
+        if deviated:
+            result.n_reoptimizations += 1
+            remainder, _ = _remainder_query(est_query, joined, actual_out)
+            new_plan = reoptimizer(remainder, memory)
+            new_order = new_plan.join_order()
+            if new_order[0] != INTERMEDIATE:
+                raise ValueError(
+                    "re-planned order must start from the materialised "
+                    f"intermediate, got {new_order}"
+                )
+            new_methods = [j.method for j in new_plan.joins()]
+            pending = list(zip(new_order[1:], new_methods))
+            est_view = remainder
+            est_subset = frozenset((INTERMEDIATE,))
+
+    result.reoptimization_evals = cm.eval_count - evals_before
+    return result
+
+
+def _replan_from_intermediate(
+    remainder: JoinQuery, memory: float, cm: CostModel
+) -> Plan:
+    """Cheapest left-deep remainder plan that builds on the intermediate.
+
+    The materialised intermediate must stay the leftmost input (completed
+    work is kept, not discarded), so the System-R DP cannot be used
+    directly; the remainder is small, so filtered exhaustive enumeration
+    is exact and cheap.
+    """
+    best_plan: Optional[Plan] = None
+    best_cost = float("inf")
+    for plan in enumerate_left_deep_plans(remainder, cm.methods):
+        if plan.join_order()[0] != INTERMEDIATE:
+            continue
+        cost = cm.plan_cost(plan, remainder, memory)
+        if cost < best_cost:
+            best_cost = cost
+            best_plan = plan
+    if best_plan is None:
+        raise ValueError("no remainder plan starts from the intermediate")
+    return best_plan

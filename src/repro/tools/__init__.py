@@ -1,0 +1,21 @@
+"""User-facing tools: plan diagrams and diagnostics."""
+
+from .plan_diagram import (
+    PlanDiagram,
+    memory_plan_diagram,
+    memory_selectivity_diagram,
+)
+from .explain import NodeCostLine, explain_costs, render_explanation
+from .serialize import SerializationError, dumps, loads
+
+__all__ = [
+    "PlanDiagram",
+    "memory_plan_diagram",
+    "memory_selectivity_diagram",
+    "SerializationError",
+    "dumps",
+    "loads",
+    "NodeCostLine",
+    "explain_costs",
+    "render_explanation",
+]

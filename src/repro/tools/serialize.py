@@ -1,0 +1,256 @@
+"""JSON (de)serialization of plans, distributions and plan stores.
+
+The paper's compile-time/start-up split needs persistence: "we can
+precompute the best expected plan under a number of possible
+distributions ... and store these expected plans, for use at query
+execution time."  This module provides the storage format — plain JSON
+dictionaries for plan trees, discrete distributions, parametric plan
+sets and choice plans — so a compile-time process can hand plans to a
+start-up process (or a test can round-trip them).
+
+Formats are versioned with a ``"kind"`` tag; deserialization validates
+structure and raises :class:`SerializationError` on anything unexpected.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List
+
+from ..core.distributions import DiscreteDistribution
+from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.properties import AccessPath, JoinMethod
+from ..strategies.choice_nodes import ChoicePlan
+from ..strategies.parametric import ParametricPlanSet, _Region
+
+__all__ = [
+    "SerializationError",
+    "plan_to_dict",
+    "plan_from_dict",
+    "distribution_to_dict",
+    "distribution_from_dict",
+    "choice_plan_to_dict",
+    "choice_plan_from_dict",
+    "parametric_to_dict",
+    "parametric_from_dict",
+    "dumps",
+    "loads",
+]
+
+
+class SerializationError(ValueError):
+    """Raised when a document cannot be decoded into the requested type."""
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+
+def _node_to_dict(node: PlanNode) -> Dict[str, Any]:
+    if isinstance(node, Scan):
+        return {
+            "op": "scan",
+            "table": node.table,
+            "access": node.access.value,
+            "filter_label": node.filter_label,
+        }
+    if isinstance(node, Sort):
+        return {
+            "op": "sort",
+            "order": node.sort_order,
+            "child": _node_to_dict(node.child),
+        }
+    assert isinstance(node, Join)
+    return {
+        "op": "join",
+        "method": node.method.value,
+        "predicate": node.predicate_label,
+        "order_label": node.order_label,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(doc: Dict[str, Any]) -> PlanNode:
+    try:
+        op = doc["op"]
+    except (TypeError, KeyError):
+        raise SerializationError("plan node document missing 'op'") from None
+    if op == "scan":
+        try:
+            access = AccessPath(doc.get("access", "scan"))
+        except ValueError:
+            raise SerializationError(
+                f"unknown access path {doc.get('access')!r}"
+            ) from None
+        return Scan(
+            table=doc["table"],
+            access=access,
+            filter_label=doc.get("filter_label"),
+        )
+    if op == "sort":
+        return Sort(child=_node_from_dict(doc["child"]), sort_order=doc["order"])
+    if op == "join":
+        try:
+            method = JoinMethod(doc["method"])
+        except (ValueError, KeyError):
+            raise SerializationError(
+                f"unknown join method {doc.get('method')!r}"
+            ) from None
+        return Join(
+            left=_node_from_dict(doc["left"]),
+            right=_node_from_dict(doc["right"]),
+            method=method,
+            predicate_label=doc["predicate"],
+            order_label=doc.get("order_label"),
+        )
+    raise SerializationError(f"unknown plan operator {op!r}")
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, Any]:
+    """Encode a plan tree as a JSON-compatible dictionary."""
+    return {"kind": "plan", "version": 1, "root": _node_to_dict(plan.root)}
+
+
+def plan_from_dict(doc: Dict[str, Any]) -> Plan:
+    """Decode a plan tree; raises :class:`SerializationError` if invalid."""
+    if not isinstance(doc, dict) or doc.get("kind") != "plan":
+        raise SerializationError("not a plan document")
+    try:
+        return Plan(_node_from_dict(doc["root"]))
+    except KeyError as exc:
+        raise SerializationError(f"plan document missing field {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Distributions
+# ----------------------------------------------------------------------
+
+
+def distribution_to_dict(dist: DiscreteDistribution) -> Dict[str, Any]:
+    """Encode a discrete distribution."""
+    return {
+        "kind": "distribution",
+        "version": 1,
+        "values": [float(v) for v in dist.values],
+        "probs": [float(p) for p in dist.probs],
+    }
+
+
+def distribution_from_dict(doc: Dict[str, Any]) -> DiscreteDistribution:
+    """Decode a discrete distribution."""
+    if not isinstance(doc, dict) or doc.get("kind") != "distribution":
+        raise SerializationError("not a distribution document")
+    try:
+        return DiscreteDistribution(doc["values"], doc["probs"])
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"bad distribution document: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Plan stores (parametric / choice)
+# ----------------------------------------------------------------------
+
+
+def choice_plan_to_dict(cp: ChoicePlan) -> Dict[str, Any]:
+    """Encode a choose-plan artifact (thresholds + alternatives)."""
+    return {
+        "kind": "choice_plan",
+        "version": 1,
+        "thresholds": list(cp.thresholds),
+        "alternatives": [_node_to_dict(p.root) for p in cp.alternatives],
+    }
+
+
+def choice_plan_from_dict(doc: Dict[str, Any]) -> ChoicePlan:
+    """Decode a choose-plan artifact."""
+    if not isinstance(doc, dict) or doc.get("kind") != "choice_plan":
+        raise SerializationError("not a choice plan document")
+    try:
+        return ChoicePlan(
+            thresholds=[float(t) for t in doc["thresholds"]],
+            alternatives=[Plan(_node_from_dict(d)) for d in doc["alternatives"]],
+        )
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"bad choice plan document: {exc}") from None
+
+
+def parametric_to_dict(pset: ParametricPlanSet) -> Dict[str, Any]:
+    """Encode a parametric plan set (regions with their plans)."""
+    return {
+        "kind": "parametric_plan_set",
+        "version": 1,
+        "regions": [
+            {
+                "lo": r.lo,
+                "hi": None if math.isinf(r.hi) else r.hi,
+                "plan": _node_to_dict(r.plan.root),
+                "cost_at_rep": r.cost_at_rep,
+            }
+            for r in pset.regions
+        ],
+    }
+
+
+def parametric_from_dict(doc: Dict[str, Any]) -> ParametricPlanSet:
+    """Decode a parametric plan set."""
+    if not isinstance(doc, dict) or doc.get("kind") != "parametric_plan_set":
+        raise SerializationError("not a parametric plan set document")
+    try:
+        regions = [
+            _Region(
+                lo=float(r["lo"]),
+                hi=math.inf if r["hi"] is None else float(r["hi"]),
+                plan=Plan(_node_from_dict(r["plan"])),
+                cost_at_rep=float(r["cost_at_rep"]),
+            )
+            for r in doc["regions"]
+        ]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"bad parametric document: {exc}") from None
+    return ParametricPlanSet(regions=regions)
+
+
+# ----------------------------------------------------------------------
+# Top-level helpers
+# ----------------------------------------------------------------------
+
+_DECODERS = {
+    "plan": plan_from_dict,
+    "distribution": distribution_from_dict,
+    "choice_plan": choice_plan_from_dict,
+    "parametric_plan_set": parametric_from_dict,
+}
+
+
+def dumps(obj) -> str:
+    """Serialize a supported object to a JSON string."""
+    if isinstance(obj, Plan):
+        doc = plan_to_dict(obj)
+    elif isinstance(obj, DiscreteDistribution):
+        doc = distribution_to_dict(obj)
+    elif isinstance(obj, ChoicePlan):
+        doc = choice_plan_to_dict(obj)
+    elif isinstance(obj, ParametricPlanSet):
+        doc = parametric_to_dict(obj)
+    else:
+        raise SerializationError(
+            f"cannot serialize objects of type {type(obj).__name__}"
+        )
+    return json.dumps(doc, sort_keys=True)
+
+
+def loads(text: str):
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from None
+    if not isinstance(doc, dict) or "kind" not in doc:
+        raise SerializationError("document has no 'kind' tag")
+    decoder = _DECODERS.get(doc["kind"])
+    if decoder is None:
+        raise SerializationError(f"unknown document kind {doc['kind']!r}")
+    return decoder(doc)

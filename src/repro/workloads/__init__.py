@@ -1,0 +1,38 @@
+"""Workload generators: synthetic data, random queries, canned scenarios."""
+
+from .datagen import ColumnSpec, GeneratedTable, build_database, generate_table
+from .queries import (
+    chain_query,
+    clique_query,
+    random_query,
+    star_query,
+    with_selectivity_uncertainty,
+    with_size_uncertainty,
+)
+from .scenarios import (
+    elastic_cloud_batch,
+    example_1_1,
+    long_running_batch,
+    reporting_chain,
+    snowflake_analytics,
+    warehouse_star,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "GeneratedTable",
+    "generate_table",
+    "build_database",
+    "chain_query",
+    "star_query",
+    "clique_query",
+    "random_query",
+    "with_selectivity_uncertainty",
+    "with_size_uncertainty",
+    "example_1_1",
+    "reporting_chain",
+    "warehouse_star",
+    "long_running_batch",
+    "snowflake_analytics",
+    "elastic_cloud_batch",
+]

@@ -1,0 +1,245 @@
+"""Random query generators: chain, star, clique join graphs.
+
+The experiments sweep over query *shapes* and *sizes* while controlling
+the uncertainty injected into sizes and selectivities.  Generators return
+plain :class:`~repro.plans.query.JoinQuery` objects with point estimates;
+:func:`with_selectivity_uncertainty` and :func:`with_size_uncertainty`
+then lift chosen point estimates into distributions — the same query can
+be handed to the LSC baseline (which ignores the distributions) and the
+LEC algorithms (which consume them), keeping comparisons honest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.distributions import DiscreteDistribution
+from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+
+__all__ = [
+    "chain_query",
+    "star_query",
+    "clique_query",
+    "random_query",
+    "with_selectivity_uncertainty",
+    "with_size_uncertainty",
+]
+
+
+def _random_relations(
+    n: int,
+    rng: np.random.Generator,
+    min_pages: float,
+    max_pages: float,
+) -> List[RelationSpec]:
+    if n < 1:
+        raise ValueError("need at least one relation")
+    if not 0 < min_pages <= max_pages:
+        raise ValueError("need 0 < min_pages <= max_pages")
+    # Log-uniform sizes: relation size ranges spanning orders of magnitude
+    # are what make join-order choices non-trivial.
+    lo, hi = math.log(min_pages), math.log(max_pages)
+    pages = np.exp(rng.uniform(lo, hi, size=n)).round()
+    return [
+        RelationSpec(name=f"R{i}", pages=float(max(1.0, p)))
+        for i, p in enumerate(pages)
+    ]
+
+
+def _selectivity_for(
+    left: RelationSpec, right: RelationSpec, rng: np.random.Generator, rpp: int
+) -> float:
+    """A selectivity that keeps the join result within sane page bounds.
+
+    Chosen so the result is between ~1% and ~150% of the larger input's
+    pages — the regime where intermediate sizes, and hence plan choice,
+    genuinely matter.
+    """
+    larger = max(left.pages, right.pages)
+    target_pages = larger * float(rng.uniform(0.01, 1.5))
+    sel = target_pages / (left.pages * right.pages * rpp)
+    return float(min(1.0, max(1e-12, sel)))
+
+
+def chain_query(
+    n: int,
+    rng: np.random.Generator,
+    min_pages: float = 100.0,
+    max_pages: float = 100000.0,
+    rows_per_page: int = 100,
+    require_order: bool = False,
+    shared_attribute: bool = False,
+) -> JoinQuery:
+    """R0 - R1 - ... - R(n-1): each relation joins the next.
+
+    With ``shared_attribute=True`` every predicate equates the *same*
+    attribute (equivalence class ``"k"``), so a sort-merge join's output
+    order satisfies every later join of the chain — the setting where
+    interesting orders genuinely propagate.
+    """
+    rels = _random_relations(n, rng, min_pages, max_pages)
+    preds = [
+        JoinPredicate(
+            left=rels[i].name,
+            right=rels[i + 1].name,
+            selectivity=_selectivity_for(rels[i], rels[i + 1], rng, rows_per_page),
+            equiv_class="k" if shared_attribute else None,
+        )
+        for i in range(n - 1)
+    ]
+    order = None
+    if require_order and preds:
+        order = preds[0].order_label
+    return JoinQuery(rels, preds, required_order=order, rows_per_page=rows_per_page)
+
+
+def star_query(
+    n: int,
+    rng: np.random.Generator,
+    min_pages: float = 100.0,
+    max_pages: float = 100000.0,
+    rows_per_page: int = 100,
+    require_order: bool = False,
+) -> JoinQuery:
+    """A fact table R0 joined to n-1 dimension tables R1..R(n-1).
+
+    The fact table is forced to be the largest relation (drawn from the
+    top of the size range), as in real star schemas.
+    """
+    rels = _random_relations(n, rng, min_pages, max_pages)
+    if n >= 2:
+        biggest = max(r.pages for r in rels)
+        rels[0] = RelationSpec(name="R0", pages=float(max(biggest, max_pages / 2)))
+    preds = [
+        JoinPredicate(
+            left=rels[0].name,
+            right=rels[i].name,
+            selectivity=_selectivity_for(rels[0], rels[i], rng, rows_per_page),
+        )
+        for i in range(1, n)
+    ]
+    order = preds[0].label if (require_order and preds) else None
+    return JoinQuery(rels, preds, required_order=order, rows_per_page=rows_per_page)
+
+
+def clique_query(
+    n: int,
+    rng: np.random.Generator,
+    min_pages: float = 100.0,
+    max_pages: float = 100000.0,
+    rows_per_page: int = 100,
+) -> JoinQuery:
+    """Every pair of relations is connected — the paper's expository case."""
+    rels = _random_relations(n, rng, min_pages, max_pages)
+    preds = [
+        JoinPredicate(
+            left=rels[i].name,
+            right=rels[j].name,
+            selectivity=_selectivity_for(rels[i], rels[j], rng, rows_per_page),
+        )
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    return JoinQuery(rels, preds, rows_per_page=rows_per_page)
+
+
+def random_query(
+    n: int,
+    rng: np.random.Generator,
+    shape: Optional[str] = None,
+    **kwargs,
+) -> JoinQuery:
+    """A query of random (or given) shape: chain, star or clique."""
+    if shape is None:
+        shape = rng.choice(["chain", "star", "clique"])
+    makers = {"chain": chain_query, "star": star_query, "clique": clique_query}
+    if shape not in makers:
+        raise ValueError(f"unknown query shape {shape!r}")
+    return makers[shape](n, rng, **kwargs)
+
+
+def _lift_point(
+    point: float,
+    relative_error: float,
+    n_buckets: int,
+    clamp_hi: Optional[float] = None,
+) -> DiscreteDistribution:
+    """Log-spaced distribution centred (in the mean) on ``point``."""
+    factor = 1.0 + relative_error
+    exps = np.linspace(-1.0, 1.0, n_buckets)
+    vals = point * factor**exps
+    probs = np.full(n_buckets, 1.0 / n_buckets)
+    dist = DiscreteDistribution(vals, probs)
+    # Rescale so the mean equals the point estimate: the uncertainty is
+    # unbiased, isolating the effect of *spread* from bias.
+    dist = dist.scale(point / dist.mean())
+    if clamp_hi is not None:
+        dist = dist.clip(hi=clamp_hi)
+    return dist
+
+
+def with_selectivity_uncertainty(
+    query: JoinQuery,
+    relative_error: float,
+    n_buckets: int = 5,
+) -> JoinQuery:
+    """Lift every predicate's point selectivity into a distribution.
+
+    ``relative_error`` of e.g. 1.0 spreads support over roughly ×/÷ 2
+    around the estimate, mean-preserving.  ``relative_error = 0`` returns
+    the query unchanged.
+    """
+    if relative_error < 0:
+        raise ValueError("relative_error must be non-negative")
+    if relative_error == 0:
+        return query
+    preds = [
+        JoinPredicate(
+            left=p.left,
+            right=p.right,
+            selectivity=p.selectivity,
+            label=p.label,
+            selectivity_dist=_lift_point(
+                p.selectivity, relative_error, n_buckets, clamp_hi=1.0
+            ),
+            result_pages_override=p.result_pages_override,
+        )
+        for p in query.predicates
+    ]
+    return JoinQuery(
+        list(query.relations),
+        preds,
+        required_order=query.required_order,
+        rows_per_page=query.rows_per_page,
+    )
+
+
+def with_size_uncertainty(
+    query: JoinQuery,
+    relative_error: float,
+    n_buckets: int = 5,
+) -> JoinQuery:
+    """Lift every relation's point page count into a distribution."""
+    if relative_error < 0:
+        raise ValueError("relative_error must be non-negative")
+    if relative_error == 0:
+        return query
+    rels = [
+        RelationSpec(
+            name=r.name,
+            pages=r.pages,
+            rows=r.rows,
+            pages_dist=_lift_point(r.pages, relative_error, n_buckets),
+            filter_selectivity=r.filter_selectivity,
+        )
+        for r in query.relations
+    ]
+    return JoinQuery(
+        rels,
+        list(query.predicates),
+        required_order=query.required_order,
+        rows_per_page=query.rows_per_page,
+    )

@@ -1,0 +1,201 @@
+"""Canned scenarios, starting with the paper's motivating Example 1.1."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.distributions import DiscreteDistribution, two_point
+from ..core.markov import MarkovParameter, sticky_chain
+from ..engine.environment import multiprogramming_memory
+from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+
+__all__ = [
+    "example_1_1",
+    "reporting_chain",
+    "warehouse_star",
+    "long_running_batch",
+    "snowflake_analytics",
+    "elastic_cloud_batch",
+]
+
+
+def example_1_1() -> Tuple[JoinQuery, DiscreteDistribution]:
+    """The paper's motivating example, verbatim.
+
+    A(1,000,000 pages) ⋈ B(400,000 pages), result 3,000 pages, ordered by
+    the join column; memory is 2000 pages 80% of the time and 700 pages
+    20% of the time.  Plan 1 (sort-merge, order for free) is the LSC
+    choice at both the mean (1740) and the mode (2000); Plan 2 (Grace
+    hash + sort) is the LEC choice.
+    """
+    query = JoinQuery(
+        relations=[
+            RelationSpec(name="A", pages=1_000_000.0),
+            RelationSpec(name="B", pages=400_000.0),
+        ],
+        predicates=[
+            JoinPredicate(
+                left="A",
+                right="B",
+                selectivity=1e-9,
+                label="A=B",
+                result_pages_override=3000.0,
+            )
+        ],
+        required_order="A=B",
+    )
+    return query, two_point(2000.0, 0.8, 700.0)
+
+
+def reporting_chain() -> Tuple[JoinQuery, DiscreteDistribution]:
+    """A 4-relation reporting query on a loaded shared server.
+
+    orders ⋈ lineitems ⋈ products ⋈ suppliers as a chain, with memory
+    driven by a multiprogramming model (16 concurrent query slots at 60%
+    load on a 4000-page pool).
+    """
+    rels = [
+        RelationSpec(name="orders", pages=80_000.0),
+        RelationSpec(name="lineitems", pages=300_000.0),
+        RelationSpec(name="products", pages=20_000.0),
+        RelationSpec(name="suppliers", pages=4_000.0),
+    ]
+    preds = [
+        JoinPredicate("orders", "lineitems", selectivity=1.2e-7, label="o=l"),
+        JoinPredicate("lineitems", "products", selectivity=5e-8, label="l=p"),
+        JoinPredicate("products", "suppliers", selectivity=2.5e-7, label="p=s"),
+    ]
+    memory = multiprogramming_memory(
+        total_pages=4000.0,
+        per_query_pages=500.0,
+        max_concurrent=8,
+        load=0.35,
+        floor_pages=64.0,
+    )
+    return (
+        JoinQuery(rels, preds, required_order="o=l", rows_per_page=100),
+        memory,
+    )
+
+
+def warehouse_star(require_order: bool = True) -> Tuple[JoinQuery, DiscreteDistribution]:
+    """A star-schema aggregation feed: fact table with three dimensions.
+
+    The result must be ordered (feeding a merge-based aggregation), which
+    sets up the classic sort-merge-vs-hash tension at every memory level.
+    """
+    rels = [
+        RelationSpec(name="sales", pages=500_000.0),
+        RelationSpec(name="stores", pages=500.0),
+        RelationSpec(name="items", pages=12_000.0),
+        RelationSpec(name="dates", pages=100.0),
+    ]
+    preds = [
+        JoinPredicate("sales", "stores", selectivity=2e-5, label="s=st"),
+        JoinPredicate("sales", "items", selectivity=8.5e-7, label="s=it"),
+        JoinPredicate("sales", "dates", selectivity=1e-4, label="s=dt"),
+    ]
+    memory = two_point(3000.0, 0.7, 500.0)
+    return (
+        JoinQuery(
+            rels,
+            preds,
+            required_order="s=it" if require_order else None,
+            rows_per_page=100,
+        ),
+        memory,
+    )
+
+
+def long_running_batch() -> Tuple[JoinQuery, MarkovParameter]:
+    """A long batch join whose memory drifts *during* execution.
+
+    Five relations joined in a chain; memory follows a sticky chain whose
+    stationary marginal is the bimodal 2500/600 mix — temporal
+    correlation without marginal drift, isolating the Section 3.5 effect.
+    """
+    rels = [
+        RelationSpec(name=f"T{i}", pages=p)
+        for i, p in enumerate([150_000.0, 90_000.0, 40_000.0, 15_000.0, 2_000.0])
+    ]
+    preds = [
+        JoinPredicate(
+            rels[i].name,
+            rels[i + 1].name,
+            selectivity=1.0 / (rels[i].pages * 100),
+            label=f"t{i}={i+1}",
+        )
+        for i in range(4)
+    ]
+    marginal = two_point(2500.0, 0.65, 600.0)
+    chain = sticky_chain(marginal, stickiness=0.8)
+    return JoinQuery(rels, preds, rows_per_page=100), chain
+
+
+def snowflake_analytics() -> Tuple[JoinQuery, DiscreteDistribution]:
+    """A snowflake schema: fact → dimension → sub-dimension chains.
+
+    lineitem joins orders and part; part joins supplier region via a
+    shared-attribute chain, so the sort-merge/interesting-order machinery
+    has something to chew on.  Memory comes from a 12-slot
+    multiprogramming model.
+    """
+    rels = [
+        RelationSpec(name="lineitem", pages=600_000.0),
+        RelationSpec(name="orders", pages=150_000.0),
+        RelationSpec(name="part", pages=20_000.0),
+        RelationSpec(name="supplier", pages=1_000.0),
+        RelationSpec(name="region", pages=25.0),
+    ]
+    preds = [
+        JoinPredicate("lineitem", "orders", selectivity=6.5e-8, label="l=o"),
+        JoinPredicate("lineitem", "part", selectivity=5e-7, label="l=p"),
+        JoinPredicate("part", "supplier", selectivity=1e-5, label="p=s",
+                      equiv_class="suppkey"),
+        JoinPredicate("supplier", "region", selectivity=4e-4, label="s=r",
+                      equiv_class="suppkey"),
+    ]
+    memory = multiprogramming_memory(
+        total_pages=6000.0,
+        per_query_pages=450.0,
+        max_concurrent=12,
+        load=0.5,
+        floor_pages=128.0,
+    )
+    return JoinQuery(rels, preds, rows_per_page=100), memory
+
+
+def elastic_cloud_batch() -> Tuple[JoinQuery, MarkovParameter]:
+    """A batch join on an autoscaling cloud node.
+
+    The scaler adds memory while the batch runs (arrivals of capacity,
+    not of competitors): memory *rises* between phases, so the phase-aware
+    optimizer should defer memory-hungry joins — the mirror image of the
+    multiprogramming drift scenario.
+    """
+    rels = [
+        RelationSpec(name=f"S{i}", pages=p)
+        for i, p in enumerate([220_000.0, 130_000.0, 60_000.0, 9_000.0])
+    ]
+    preds = [
+        JoinPredicate(
+            rels[i].name,
+            rels[i + 1].name,
+            selectivity=0.9 / (rels[i].pages * 100),
+            label=f"s{i}={i+1}",
+        )
+        for i in range(3)
+    ]
+    states = [350.0, 800.0, 1800.0, 4000.0]
+    n = len(states)
+    grow = 0.55
+    trans = np.zeros((n, n))
+    for i in range(n):
+        up = grow if i < n - 1 else 0.0
+        trans[i, i] = 1.0 - up
+        if i < n - 1:
+            trans[i, i + 1] = up
+    chain = MarkovParameter(states, [0.7, 0.3, 0.0, 0.0], trans)
+    return JoinQuery(rels, preds, rows_per_page=100), chain

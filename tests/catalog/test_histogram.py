@@ -1,0 +1,186 @@
+"""Tests for equi-width / equi-depth histograms and selectivity estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.histogram import EquiDepthHistogram, EquiWidthHistogram
+
+
+class TestEquiWidth:
+    def test_bucket_count(self):
+        h = EquiWidthHistogram.build(range(100), n_buckets=10)
+        assert h.n_buckets == 10
+        assert h.total_rows == 100
+
+    def test_counts_cover_all_rows(self):
+        values = np.arange(1000) % 37
+        h = EquiWidthHistogram.build(values, n_buckets=7)
+        assert sum(c for _, _, c in h.buckets()) == 1000
+
+    def test_uniform_eq_selectivity(self):
+        values = list(range(1000))
+        h = EquiWidthHistogram.build(values, n_buckets=10)
+        assert h.selectivity_eq(500) == pytest.approx(1 / 1000, rel=0.2)
+
+    def test_range_selectivity_full(self):
+        h = EquiWidthHistogram.build(range(100), n_buckets=5)
+        assert h.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_range_selectivity_half(self):
+        h = EquiWidthHistogram.build(range(1000), n_buckets=10)
+        assert h.selectivity_range(0, 500) == pytest.approx(0.5, abs=0.02)
+
+    def test_range_empty_interval(self):
+        h = EquiWidthHistogram.build(range(100), n_buckets=5)
+        assert h.selectivity_range(50, 50) == 0.0
+        assert h.selectivity_range(60, 40) == 0.0
+
+    def test_out_of_range_value(self):
+        h = EquiWidthHistogram.build(range(100), n_buckets=5)
+        assert h.selectivity_eq(-5) == 0.0
+        assert h.selectivity_eq(1e9) == 0.0
+
+    def test_empty_data(self):
+        h = EquiWidthHistogram.build([], n_buckets=5)
+        assert h.n_buckets == 0
+        assert h.selectivity_eq(1.0) == 0.0
+        assert h.selectivity_range(0, 10) == 0.0
+
+    def test_constant_column(self):
+        h = EquiWidthHistogram.build([7.0] * 50, n_buckets=4)
+        assert h.selectivity_eq(7.0) == pytest.approx(1.0)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            EquiWidthHistogram.build([1.0], n_buckets=0)
+
+
+class TestEquiDepth:
+    def test_balanced_mass(self, rng):
+        values = rng.lognormal(3.0, 1.0, size=5000)
+        h = EquiDepthHistogram.build(values, n_buckets=10)
+        counts = [c for _, _, c in h.buckets()]
+        assert max(counts) <= 2 * min(c for c in counts if c > 0) + 1
+
+    def test_skewed_data_with_heavy_hitter(self):
+        values = [1.0] * 900 + list(range(2, 102))
+        h = EquiDepthHistogram.build(values, n_buckets=10)
+        # The heavy value collapses quantile edges; selectivity of the
+        # heavy hitter should still be large.
+        assert h.selectivity_eq(1.0) > 0.2
+
+    def test_total_rows(self):
+        h = EquiDepthHistogram.build(range(321), n_buckets=10)
+        assert h.total_rows == 321
+
+    def test_distinct_estimate(self):
+        h = EquiDepthHistogram.build(list(range(100)) * 2, n_buckets=10)
+        assert h.n_distinct() == pytest.approx(100, rel=0.1)
+
+
+class TestSelectivityDistribution:
+    def test_point_when_no_error(self):
+        h = EquiWidthHistogram.build(range(1000), n_buckets=10)
+        d = h.selectivity_distribution("eq", value=500, relative_error=0.0)
+        assert d.is_point_mass()
+
+    def test_spread_is_mean_centered_ish(self):
+        h = EquiWidthHistogram.build(range(1000), n_buckets=10)
+        est = h.selectivity_range(0, 100)
+        d = h.selectivity_distribution(
+            "range", lo=0, hi=100, relative_error=0.5, n_buckets=5
+        )
+        assert d.n_buckets == 5
+        assert d.min() < est < d.max()
+
+    def test_support_clamped_to_unit_interval(self):
+        h = EquiWidthHistogram.build([1.0] * 10, n_buckets=2)
+        d = h.selectivity_distribution("eq", value=1.0, relative_error=2.0)
+        assert d.max() <= 1.0
+        assert d.min() >= 0.0
+
+    def test_requires_value_for_eq(self):
+        h = EquiWidthHistogram.build(range(10), n_buckets=2)
+        with pytest.raises(ValueError):
+            h.selectivity_distribution("eq")
+
+    def test_unknown_kind(self):
+        h = EquiWidthHistogram.build(range(10), n_buckets=2)
+        with pytest.raises(ValueError):
+            h.selectivity_distribution("like")
+
+
+class TestJoinSelectivityFromHistograms:
+    def _true_join_sel(self, a, b):
+        import numpy as np
+
+        a, b = np.asarray(a), np.asarray(b)
+        matches = sum(int((b == v).sum()) for v in a)
+        return matches / (len(a) * len(b))
+
+    def test_fk_join_close_to_truth(self, rng):
+        from repro.catalog.histogram import (
+            EquiDepthHistogram,
+            join_selectivity_from_histograms,
+        )
+
+        dim = list(range(200))
+        fact = rng.integers(0, 200, size=5000)
+        hd = EquiDepthHistogram.build(dim, n_buckets=10)
+        hf = EquiDepthHistogram.build(fact, n_buckets=10)
+        est = join_selectivity_from_histograms(hf, hd)
+        truth = self._true_join_sel(fact, dim)
+        assert est == pytest.approx(truth, rel=0.3)
+
+    def test_disjoint_ranges_give_zero(self):
+        from repro.catalog.histogram import (
+            EquiWidthHistogram,
+            join_selectivity_from_histograms,
+        )
+
+        left = EquiWidthHistogram.build(range(0, 100), n_buckets=5)
+        right = EquiWidthHistogram.build(range(500, 600), n_buckets=5)
+        assert join_selectivity_from_histograms(left, right) == 0.0
+
+    def test_partial_overlap_beats_naive_rule(self, rng):
+        """With half-overlapping domains, bucket overlap is far closer to
+        the truth than 1/max(V)."""
+        from repro.catalog.histogram import (
+            EquiDepthHistogram,
+            join_selectivity_from_histograms,
+        )
+
+        left_vals = rng.integers(0, 200, size=4000)
+        right_vals = rng.integers(100, 300, size=4000)
+        hl = EquiDepthHistogram.build(left_vals, n_buckets=10)
+        hr = EquiDepthHistogram.build(right_vals, n_buckets=10)
+        est = join_selectivity_from_histograms(hl, hr)
+        truth = self._true_join_sel(left_vals, right_vals)
+        naive = 1.0 / 200
+        assert abs(est - truth) < abs(naive - truth)
+
+    def test_empty_histogram_zero(self):
+        from repro.catalog.histogram import (
+            EquiWidthHistogram,
+            join_selectivity_from_histograms,
+        )
+
+        empty = EquiWidthHistogram.build([], n_buckets=3)
+        full = EquiWidthHistogram.build(range(10), n_buckets=3)
+        assert join_selectivity_from_histograms(empty, full) == 0.0
+
+    def test_symmetricish(self, rng):
+        from repro.catalog.histogram import (
+            EquiDepthHistogram,
+            join_selectivity_from_histograms,
+        )
+
+        a = rng.integers(0, 50, 1000)
+        b = rng.integers(0, 80, 1500)
+        ha = EquiDepthHistogram.build(a, n_buckets=8)
+        hb = EquiDepthHistogram.build(b, n_buckets=8)
+        ab = join_selectivity_from_histograms(ha, hb)
+        ba = join_selectivity_from_histograms(hb, ha)
+        assert ab == pytest.approx(ba, rel=0.2)

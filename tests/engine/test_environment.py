@@ -1,0 +1,106 @@
+"""Tests for the environment generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.environment import (
+    lognormal_memory,
+    multiprogramming_chain,
+    multiprogramming_memory,
+    observed_memory,
+    paper_bimodal_memory,
+)
+
+
+class TestPaperBimodal:
+    def test_matches_example(self):
+        d = paper_bimodal_memory()
+        assert d.prob_of(2000.0) == pytest.approx(0.8)
+        assert d.prob_of(700.0) == pytest.approx(0.2)
+        assert d.mean() == pytest.approx(1740.0)
+
+
+class TestMultiprogramming:
+    def test_zero_load_is_full_memory(self):
+        d = multiprogramming_memory(4000, 500, max_concurrent=8, load=0.0)
+        assert d.is_point_mass()
+        assert d.mean() == 4000.0
+
+    def test_full_load_floors_out(self):
+        d = multiprogramming_memory(
+            4000, 500, max_concurrent=8, load=1.0, floor_pages=100.0
+        )
+        assert d.is_point_mass()
+        assert d.mean() == 100.0
+
+    def test_mean_decreases_with_load(self):
+        means = [
+            multiprogramming_memory(4000, 400, 8, load).mean()
+            for load in (0.1, 0.4, 0.7)
+        ]
+        assert means[0] > means[1] > means[2]
+
+    def test_floor_clamps_support(self):
+        d = multiprogramming_memory(1000, 400, 8, 0.5, floor_pages=64.0)
+        assert d.min() >= 64.0
+
+    def test_binomial_masses(self):
+        d = multiprogramming_memory(4000, 1000, 2, 0.5, floor_pages=1.0)
+        # k=0,1,2 -> memory 4000, 3000, 2000 with probs .25,.5,.25
+        assert d.prob_of(3000.0) == pytest.approx(0.5)
+
+    def test_validates_load(self):
+        with pytest.raises(ValueError):
+            multiprogramming_memory(4000, 500, 8, 1.5)
+
+
+class TestMultiprogrammingChain:
+    def test_states_increasing_and_stochastic(self):
+        chain = multiprogramming_chain(
+            4000, 500, max_concurrent=4, arrival_prob=0.3, departure_prob=0.2
+        )
+        assert np.all(np.diff(chain.states) > 0)
+        assert np.allclose(chain.transition.sum(axis=1), 1.0)
+
+    def test_initial_concurrency_pins_state(self):
+        chain = multiprogramming_chain(
+            4000, 500, 4, 0.3, 0.2, initial_concurrent=0
+        )
+        assert chain.marginal(0).prob_of(4000.0) == pytest.approx(1.0)
+
+    def test_collapsed_states_when_floor_hits(self):
+        chain = multiprogramming_chain(
+            1000, 600, max_concurrent=4, arrival_prob=0.5, departure_prob=0.1,
+            floor_pages=100.0,
+        )
+        # Memory values: 1000, 400, 100(x3 clamped) -> 3 unique states.
+        assert chain.n_states == 3
+        assert np.allclose(chain.transition.sum(axis=1), 1.0)
+
+    def test_drift_direction(self):
+        # Arrivals far outpace departures: expected memory declines.
+        chain = multiprogramming_chain(
+            4000, 500, 6, arrival_prob=0.8, departure_prob=0.05,
+            initial_concurrent=0,
+        )
+        m0 = chain.marginal(0).mean()
+        m3 = chain.marginal(3).mean()
+        assert m3 < m0
+
+    def test_validates_probs(self):
+        with pytest.raises(ValueError):
+            multiprogramming_chain(4000, 500, 4, 1.2, 0.1)
+
+
+class TestLognormalAndObserved:
+    def test_lognormal_mean(self):
+        d = lognormal_memory(800.0, 0.7, n_buckets=12)
+        assert d.mean() == pytest.approx(800.0, rel=0.1)
+
+    def test_observed_fits_samples(self, rng):
+        samples = rng.normal(1500, 200, size=4000)
+        d = observed_memory(samples, n_buckets=6)
+        assert d.n_buckets <= 6
+        assert d.mean() == pytest.approx(1500.0, rel=0.05)

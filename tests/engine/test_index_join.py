@@ -1,0 +1,115 @@
+"""Tests for the index nested loop join operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.buffer import BufferPool
+from repro.engine.executor import (
+    ExecutionContext,
+    ExecutionError,
+    HashIndex,
+    block_nested_loop_join,
+    index_nested_loop_join,
+)
+from repro.engine.pages import PagedFile, Schema, StorageManager
+
+
+def _file(name, rows, fields, rpp=10):
+    return PagedFile.from_rows(name, Schema(tuple(fields)), rows, rows_per_page=rpp)
+
+
+def _ctx(capacity, *files):
+    storage = StorageManager()
+    for f in files:
+        storage.register(f)
+    return ExecutionContext(storage=storage, pool=BufferPool(capacity), rows_per_page=10)
+
+
+def _rows(pf):
+    return [r for page in pf.pages for r in page.rows]
+
+
+@pytest.fixture
+def inner(rng):
+    rows = [(int(k), i) for i, k in enumerate(rng.integers(0, 50, 400))]
+    return _file("inner", rows, ["inner.k", "inner.v"])
+
+
+class TestHashIndex:
+    def test_probe_pages_cover_all_matches(self, inner):
+        idx = HashIndex(inner, 0)
+        for value in range(50):
+            pages = idx.probe_pages(value)
+            found = [
+                r
+                for p in pages
+                for r in inner.pages[p].rows
+                if r[0] == value
+            ]
+            want = [r for r in _rows(inner) if r[0] == value]
+            assert sorted(found) == sorted(want)
+
+    def test_missing_key_empty(self, inner):
+        assert HashIndex(inner, 0).probe_pages(999) == []
+
+    def test_height_validated(self, inner):
+        with pytest.raises(ValueError):
+            HashIndex(inner, 0, height=0)
+
+
+class TestIndexNestedLoop:
+    def test_matches_reference(self, inner, rng):
+        outer_rows = [(int(k), i) for i, k in enumerate(rng.integers(0, 50, 60))]
+        outer = _file("outer", outer_rows, ["outer.k", "outer.v"])
+        ctx = _ctx(8, outer, inner)
+        out = index_nested_loop_join(ctx, outer, inner, 0, 0)
+        want = sorted(
+            o + i for o in outer_rows for i in _rows(inner) if o[0] == i[0]
+        )
+        assert sorted(_rows(out)) == want
+
+    def test_empty_outer(self, inner):
+        outer = _file("outer", [], ["outer.k"])
+        ctx = _ctx(4, outer, inner)
+        out = index_nested_loop_join(ctx, outer, inner, 0, 0)
+        assert out.n_rows == 0
+
+    def test_reuses_prebuilt_index(self, inner, rng):
+        outer_rows = [(int(k), i) for i, k in enumerate(rng.integers(0, 50, 30))]
+        outer = _file("outer", outer_rows, ["outer.k", "outer.v"])
+        idx = HashIndex(inner, 0, height=3)
+        ctx = _ctx(8, outer, inner)
+        out = index_nested_loop_join(ctx, outer, inner, 0, 0, index=idx)
+        assert out.n_rows > 0
+
+    def test_wrong_index_rejected(self, inner, rng):
+        outer = _file("outer", [(1, 0)], ["outer.k", "outer.v"])
+        wrong = HashIndex(outer, 0)
+        ctx = _ctx(4, outer, inner)
+        with pytest.raises(ExecutionError):
+            index_nested_loop_join(ctx, outer, inner, 0, 0, index=wrong)
+
+    def test_beats_bnl_for_tiny_selective_outer(self, rng):
+        """The access-path trade-off: 2 probing rows vs scanning 40 pages."""
+        inner_rows = [(i, i) for i in range(400)]  # unique keys, 40 pages
+        inner_f = _file("inner", inner_rows, ["inner.k", "inner.v"])
+        outer_f = _file("outer", [(3, 0), (250, 1)], ["outer.k", "outer.v"])
+        ctx_inl = _ctx(6, outer_f, inner_f)
+        index_nested_loop_join(ctx_inl, outer_f, inner_f, 0, 0)
+        ctx_bnl = _ctx(6, outer_f, inner_f)
+        block_nested_loop_join(ctx_bnl, outer_f, inner_f, 0, 0)
+        assert ctx_inl.pool.counters.total < ctx_bnl.pool.counters.total
+
+    def test_loses_for_huge_outer(self, rng):
+        """Probing per row degrades when the outer dwarfs the inner."""
+        inner_rows = [(i % 20, i) for i in range(100)]
+        inner_f = _file("inner", inner_rows, ["inner.k", "inner.v"])
+        outer_rows = [(int(k), i) for i, k in enumerate(rng.integers(0, 20, 2000))]
+        outer_f = _file("outer", outer_rows, ["outer.k", "outer.v"])
+        ctx_inl = _ctx(6, outer_f, inner_f)
+        index_nested_loop_join(ctx_inl, outer_f, inner_f, 0, 0)
+        ctx_bnl = _ctx(6, outer_f, inner_f)
+        block_nested_loop_join(ctx_bnl, outer_f, inner_f, 0, 0)
+        assert ctx_bnl.pool.counters.total < ctx_inl.pool.counters.total

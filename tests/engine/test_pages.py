@@ -1,0 +1,92 @@
+"""Tests for paged storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.pages import PagedFile, Schema, StorageManager
+
+
+class TestSchema:
+    def test_index_of(self):
+        s = Schema(("a", "b", "c"))
+        assert s.index_of("b") == 1
+        with pytest.raises(KeyError):
+            s.index_of("z")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(("a", "a"))
+
+    def test_concat_suffixes_collisions(self):
+        s = Schema(("a", "b")).concat(Schema(("b", "c")))
+        assert s.fields == ("a", "b", "b_r", "c")
+
+    def test_len(self):
+        assert len(Schema(("a", "b"))) == 2
+
+
+class TestPagedFile:
+    def test_from_rows_pagination(self):
+        pf = PagedFile.from_rows(
+            "t", Schema(("x",)), [(i,) for i in range(25)], rows_per_page=10
+        )
+        assert pf.n_pages == 3
+        assert pf.n_rows == 25
+        assert len(pf.pages[-1].rows) == 5
+
+    def test_empty_file(self):
+        pf = PagedFile.from_rows("t", Schema(("x",)), [], rows_per_page=10)
+        assert pf.n_pages == 0
+        assert pf.n_rows == 0
+
+    def test_append_row_reports_new_pages(self):
+        pf = PagedFile("t", Schema(("x",)), rows_per_page=2)
+        assert pf.append_row((1,)) is True
+        assert pf.append_row((2,)) is False
+        assert pf.append_row((3,)) is True
+        assert pf.n_pages == 2
+
+    def test_arity_checked(self):
+        pf = PagedFile("t", Schema(("x", "y")), rows_per_page=2)
+        with pytest.raises(ValueError):
+            pf.append_row((1,))
+        with pytest.raises(ValueError):
+            PagedFile.from_rows("u", Schema(("x",)), [(1, 2)], rows_per_page=2)
+
+    def test_rows_per_page_validated(self):
+        with pytest.raises(ValueError):
+            PagedFile("t", Schema(("x",)), rows_per_page=0)
+
+
+class TestStorageManager:
+    def test_register_and_get(self):
+        sm = StorageManager()
+        pf = PagedFile("t", Schema(("x",)), rows_per_page=5)
+        sm.register(pf)
+        assert sm.get("t") is pf
+        assert "t" in sm
+
+    def test_duplicate_rejected(self):
+        sm = StorageManager()
+        sm.register(PagedFile("t", Schema(("x",)), rows_per_page=5))
+        with pytest.raises(ValueError):
+            sm.register(PagedFile("t", Schema(("y",)), rows_per_page=5))
+
+    def test_missing_get(self):
+        with pytest.raises(KeyError):
+            StorageManager().get("nope")
+
+    def test_temp_names_unique(self):
+        sm = StorageManager()
+        a = sm.new_temp(Schema(("x",)), 5)
+        b = sm.new_temp(Schema(("x",)), 5)
+        assert a.name != b.name
+        assert a.name.startswith("__temp")
+
+    def test_drop_is_idempotent(self):
+        sm = StorageManager()
+        t = sm.new_temp(Schema(("x",)), 5)
+        sm.drop(t.name)
+        sm.drop(t.name)
+        assert t.name not in sm

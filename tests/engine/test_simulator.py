@@ -1,0 +1,141 @@
+"""Tests for the Monte-Carlo simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import point_mass, two_point
+from repro.core.markov import sticky_chain
+from repro.costmodel.model import CostModel
+from repro.engine.simulator import (
+    SimulationSummary,
+    compare_plans,
+    realize_query,
+    simulate_plan_costs,
+    simulate_plan_costs_multiparam,
+)
+from repro.plans.nodes import Join, Plan, Scan, Sort
+from repro.plans.properties import JoinMethod
+from repro.workloads.queries import (
+    chain_query,
+    with_selectivity_uncertainty,
+    with_size_uncertainty,
+)
+
+
+@pytest.fixture
+def plans(example_query):
+    sm = Plan(Join(Scan("B"), Scan("A"), JoinMethod.SORT_MERGE, "A=B"))
+    gh = Plan(
+        Sort(
+            child=Join(Scan("B"), Scan("A"), JoinMethod.GRACE_HASH, "A=B"),
+            sort_order="A=B",
+        )
+    )
+    return sm, gh
+
+
+class TestSimulate:
+    def test_point_mass_environment_deterministic(self, example_query, plans, rng):
+        sm, _ = plans
+        costs = simulate_plan_costs(sm, example_query, point_mass(2000.0), 20, rng)
+        assert np.all(costs == 2_800_000.0)
+
+    def test_monte_carlo_converges_to_expected(self, example_query, plans, rng):
+        sm, _ = plans
+        memory = two_point(2000.0, 0.8, 700.0)
+        costs = simulate_plan_costs(sm, example_query, memory, 5000, rng)
+        cm = CostModel(count_evaluations=False)
+        want = cm.plan_expected_cost(sm, example_query, memory)
+        assert costs.mean() == pytest.approx(want, rel=0.03)
+
+    def test_markov_environment(self, rng, small_memory_dist):
+        q = chain_query(3, np.random.default_rng(1))
+        chain = sticky_chain(small_memory_dist, 0.7)
+        plan = Plan(
+            Join(
+                Join(Scan("R0"), Scan("R1"), JoinMethod.GRACE_HASH, "R0=R1"),
+                Scan("R2"),
+                JoinMethod.GRACE_HASH,
+                "R1=R2",
+            )
+        )
+        costs = simulate_plan_costs(plan, q, chain, 4000, rng)
+        cm = CostModel(count_evaluations=False)
+        want = cm.plan_expected_cost_markov(plan, q, chain)
+        assert costs.mean() == pytest.approx(want, rel=0.05)
+
+    def test_trial_count_validated(self, example_query, plans, rng):
+        with pytest.raises(ValueError):
+            simulate_plan_costs(plans[0], example_query, point_mass(10.0), 0, rng)
+
+
+class TestSummary:
+    def test_from_costs(self, plans):
+        sm, _ = plans
+        s = SimulationSummary.from_costs(sm, np.array([1.0, 3.0, 2.0, 100.0]))
+        assert s.mean == pytest.approx(26.5)
+        assert s.worst == 100.0
+        assert s.n_trials == 4
+        assert s.p50 == pytest.approx(2.5)
+
+
+class TestComparePlans:
+    def test_win_rates_match_paper_story(self, example_query, plans, rng):
+        sm, gh = plans
+        memory = two_point(2000.0, 0.8, 700.0)
+        out = compare_plans([sm, gh], example_query, memory, 3000, rng)
+        # SM wins the 80% of trials with high memory; loses on average.
+        assert out["win_rate"][0] == pytest.approx(0.8, abs=0.03)
+        sm_summary, gh_summary = out["summaries"]
+        assert sm_summary.mean > gh_summary.mean
+
+    def test_common_random_numbers(self, example_query, plans, rng):
+        sm, gh = plans
+        memory = two_point(2000.0, 0.8, 700.0)
+        out = compare_plans([sm, gh], example_query, memory, 500, rng)
+        costs = out["costs"]
+        # In every trial the SM plan must cost either 2.8M or 5.6M and
+        # the GH plan exactly 2.815M: trials are aligned.
+        assert set(np.unique(costs[:, 1])) == {2_815_000.0}
+        assert set(np.unique(costs[:, 0])) <= {2_800_000.0, 5_600_000.0}
+
+    def test_empty_plan_list_rejected(self, example_query, rng, bimodal_memory):
+        with pytest.raises(ValueError):
+            compare_plans([], example_query, bimodal_memory, 10, rng)
+
+
+class TestRealizeQuery:
+    def test_point_query_unchanged(self, three_way_query, rng):
+        world = realize_query(three_way_query, rng)
+        for spec, orig in zip(world.relations, three_way_query.relations):
+            assert spec.pages == orig.pages
+        for p, q in zip(world.predicates, three_way_query.predicates):
+            assert p.selectivity == q.selectivity
+
+    def test_sampled_values_from_support(self, three_way_query, rng):
+        q = with_size_uncertainty(
+            with_selectivity_uncertainty(three_way_query, 1.0, n_buckets=3),
+            0.5,
+            n_buckets=3,
+        )
+        world = realize_query(q, rng)
+        for spec, lifted in zip(world.relations, q.relations):
+            support = set(lifted.pages_distribution().support())
+            assert spec.pages in support
+        assert not world.has_uncertain_sizes()
+
+    def test_multiparam_simulation_runs(self, three_way_query, rng, bimodal_memory):
+        q = with_selectivity_uncertainty(three_way_query, 1.0, n_buckets=3)
+        plan = Plan(
+            Join(
+                Join(Scan("R"), Scan("S"), JoinMethod.GRACE_HASH, "R=S"),
+                Scan("T"),
+                JoinMethod.GRACE_HASH,
+                "S=T",
+            )
+        )
+        costs = simulate_plan_costs_multiparam(plan, q, bimodal_memory, 200, rng)
+        assert costs.shape == (200,)
+        assert np.all(costs > 0)

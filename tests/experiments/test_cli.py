@@ -1,0 +1,24 @@
+"""Tests for the experiments CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["--quick", "E8"]) == 0
+        out = capsys.readouterr().out
+        assert "E8:" in out
+        assert "completed in" in out
+
+    def test_multiple_and_case_insensitive(self, capsys):
+        assert main(["--quick", "e8", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "E8:" in out and "E4:" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["--quick", "E99"])

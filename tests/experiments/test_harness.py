@@ -1,0 +1,61 @@
+"""Tests for the experiment harness itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import (
+    EXPERIMENTS,
+    ExperimentTable,
+    format_table,
+    run_experiment,
+)
+
+
+class TestExperimentTable:
+    def test_add_and_column(self):
+        t = ExperimentTable("EX", "demo", ["a", "b"])
+        t.add(a=1, b=2.5)
+        t.add(a=3)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, None]
+
+    def test_unknown_column_rejected(self):
+        t = ExperimentTable("EX", "demo", ["a"])
+        with pytest.raises(KeyError):
+            t.add(z=1)
+        with pytest.raises(KeyError):
+            t.column("z")
+
+    def test_format_renders_all_parts(self):
+        t = ExperimentTable("EX", "demo", ["name", "value"], notes="the caption")
+        t.add(name="row1", value=1234567.0)
+        text = format_table(t)
+        assert "EX: demo" in text
+        assert "row1" in text
+        assert "the caption" in text
+        assert "1.235e+06" in text
+
+    def test_format_bools_and_small_floats(self):
+        t = ExperimentTable("EX", "demo", ["flag", "tiny"])
+        t.add(flag=True, tiny=1e-9)
+        text = format_table(t)
+        assert "yes" in text
+        assert "1.000e-09" in text
+
+    def test_str_is_format(self):
+        t = ExperimentTable("EX", "demo", ["a"])
+        assert str(t) == format_table(t)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 21)}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        tables = run_experiment("e8", quick=True)
+        assert tables[0].experiment_id.startswith("E8")

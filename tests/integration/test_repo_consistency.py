@@ -1,0 +1,85 @@
+"""Repo self-consistency: registry, benchmarks, docs and examples agree."""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments.harness import EXPERIMENTS
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestExperimentWiring:
+    def test_every_experiment_module_importable_with_run(self):
+        for exp_id, module_path in EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            assert callable(getattr(module, "run", None)), exp_id
+
+    def test_every_experiment_has_a_benchmark(self):
+        bench_dir = REPO / "benchmarks"
+        text = "\n".join(
+            p.read_text() for p in bench_dir.glob("test_bench_*.py")
+        )
+        for exp_id in EXPERIMENTS:
+            assert f'"{exp_id}"' in text, f"no benchmark invokes {exp_id}"
+
+    def test_design_md_indexes_every_experiment(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for exp_id in EXPERIMENTS:
+            assert re.search(rf"\| {exp_id} \|", design), (
+                f"{exp_id} missing from DESIGN.md experiment index"
+            )
+
+    def test_experiments_md_covers_every_experiment(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for exp_id in EXPERIMENTS:
+            assert re.search(rf"## {exp_id} ", text), (
+                f"{exp_id} missing from EXPERIMENTS.md"
+            )
+
+
+class TestExamples:
+    def test_examples_exist_and_have_mains(self):
+        examples = sorted((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        for path in examples:
+            text = path.read_text()
+            assert '__main__' in text, f"{path.name} is not runnable"
+            assert text.lstrip().startswith('"""'), (
+                f"{path.name} lacks a module docstring"
+            )
+
+
+class TestPublicApiDocumented:
+    @pytest.mark.parametrize(
+        "module_path",
+        [
+            "repro",
+            "repro.core",
+            "repro.catalog",
+            "repro.plans",
+            "repro.costmodel",
+            "repro.optimizer",
+            "repro.engine",
+            "repro.workloads",
+            "repro.strategies",
+            "repro.experiments",
+            "repro.tools",
+            "repro.db",
+        ],
+    )
+    def test_all_exports_have_docstrings(self, module_path):
+        module = importlib.import_module(module_path)
+        assert module.__doc__, f"{module_path} lacks a module docstring"
+        import typing
+
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if typing.get_origin(obj) is not None:
+                continue  # type aliases (e.g. PlanNode = Union[...])
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"{module_path}.{name} lacks a docstring"

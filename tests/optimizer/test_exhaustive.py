@@ -1,0 +1,86 @@
+"""Tests for the exhaustive plan enumerator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.costmodel.model import DEFAULT_METHODS, CostModel
+from repro.optimizer.exhaustive import (
+    MAX_EXHAUSTIVE_RELATIONS,
+    enumerate_left_deep_plans,
+    exhaustive_best,
+)
+from repro.plans.nodes import Sort
+from repro.plans.properties import JoinMethod
+from repro.plans.query import JoinQuery, RelationSpec
+from repro.workloads.queries import chain_query, clique_query
+
+
+class TestEnumeration:
+    def test_count_for_clique(self, rng):
+        # Clique: all n! orders valid; methods^(n-1) variants each.
+        q = clique_query(3, rng)
+        plans = list(enumerate_left_deep_plans(q, DEFAULT_METHODS))
+        assert len(plans) == math.factorial(3) * 3**2
+
+    def test_count_for_chain_excludes_cross_products(self, rng):
+        q = chain_query(3, rng)
+        plans = list(enumerate_left_deep_plans(q, DEFAULT_METHODS))
+        # Chain R0-R1-R2: valid orders avoid starting pairs (R0,R2):
+        # 012, 210, 102, 120 -> 4 orders x 9 method vectors.
+        assert len(plans) == 4 * 9
+
+    def test_cross_products_enabled(self, rng):
+        q = chain_query(3, rng)
+        plans = list(
+            enumerate_left_deep_plans(q, DEFAULT_METHODS, allow_cross_products=True)
+        )
+        assert len(plans) == 6 * 9
+
+    def test_all_left_deep_and_distinct(self, rng):
+        q = clique_query(4, rng)
+        plans = list(enumerate_left_deep_plans(q, [JoinMethod.GRACE_HASH]))
+        assert all(p.is_left_deep() for p in plans)
+        assert len({p.signature() for p in plans}) == len(plans)
+
+    def test_order_enforcement_appends_sort(self, example_query):
+        plans = list(enumerate_left_deep_plans(example_query, DEFAULT_METHODS))
+        for p in plans:
+            assert p.order == "A=B"
+        hash_plans = [p for p in plans if isinstance(p.root, Sort)]
+        assert hash_plans  # every non-SM plan got a sort
+
+    def test_single_relation(self):
+        q = JoinQuery([RelationSpec("A", pages=5.0)])
+        plans = list(enumerate_left_deep_plans(q, DEFAULT_METHODS))
+        assert len(plans) == 1
+
+    def test_relation_cap(self, rng):
+        q = clique_query(MAX_EXHAUSTIVE_RELATIONS + 1, rng)
+        with pytest.raises(ValueError):
+            list(enumerate_left_deep_plans(q, DEFAULT_METHODS))
+
+
+class TestExhaustiveBest:
+    def test_returns_sorted_choices(self, three_way_query):
+        cm = CostModel(count_evaluations=False)
+        best, all_scored = exhaustive_best(
+            three_way_query,
+            lambda p: cm.plan_cost(p, three_way_query, 500.0),
+            DEFAULT_METHODS,
+        )
+        objectives = [c.objective for c in all_scored]
+        assert objectives == sorted(objectives)
+        assert best.objective == objectives[0]
+
+    def test_best_is_minimum_of_objective(self, three_way_query):
+        cm = CostModel(count_evaluations=False)
+        best, all_scored = exhaustive_best(
+            three_way_query,
+            lambda p: cm.plan_cost(p, three_way_query, 500.0),
+            DEFAULT_METHODS,
+        )
+        assert best.objective == min(c.objective for c in all_scored)

@@ -1,0 +1,68 @@
+"""Tests for optimizer result types and plan properties helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.result import OptimizationResult, OptimizerStats, PlanChoice
+from repro.plans.nodes import Plan, Scan
+from repro.plans.properties import JoinMethod, order_from_join
+
+
+class TestOptimizerStats:
+    def test_merged_with_sums_counters(self):
+        a = OptimizerStats(
+            subsets_explored=3,
+            entries_offered=10,
+            merge_probes=5,
+            formula_evaluations=40,
+            invocations=1,
+        )
+        b = OptimizerStats(
+            subsets_explored=2,
+            entries_offered=4,
+            merge_probes=1,
+            formula_evaluations=10,
+            invocations=2,
+        )
+        m = a.merged_with(b)
+        assert m.subsets_explored == 5
+        assert m.entries_offered == 14
+        assert m.merge_probes == 6
+        assert m.formula_evaluations == 50
+        assert m.invocations == 3
+
+    def test_defaults(self):
+        s = OptimizerStats()
+        assert s.invocations == 1
+        assert s.formula_evaluations == 0
+
+
+class TestResultShortcuts:
+    def test_plan_and_objective_properties(self):
+        plan = Plan(Scan("A"))
+        choice = PlanChoice(plan=plan, objective=12.5)
+        result = OptimizationResult(best=choice)
+        assert result.plan is plan
+        assert result.objective == 12.5
+
+    def test_plan_choice_repr(self):
+        choice = PlanChoice(plan=Plan(Scan("A")), objective=3.0)
+        assert "A" in repr(choice)
+
+
+class TestOrderFromJoin:
+    def test_sort_merge_yields_label(self):
+        assert order_from_join(JoinMethod.SORT_MERGE, "k") == "k"
+
+    @pytest.mark.parametrize(
+        "method",
+        [
+            JoinMethod.GRACE_HASH,
+            JoinMethod.NESTED_LOOP,
+            JoinMethod.BLOCK_NESTED_LOOP,
+            JoinMethod.HYBRID_HASH,
+        ],
+    )
+    def test_others_yield_none(self, method):
+        assert order_from_join(method, "k") is None

@@ -1,0 +1,208 @@
+"""Tests for the System-R dynamic program (all costers, both plan spaces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import DiscreteDistribution, point_mass, two_point
+from repro.core.markov import sticky_chain
+from repro.costmodel.model import DEFAULT_METHODS, CostModel
+from repro.optimizer.costers import (
+    ExpectedCoster,
+    MarkovCoster,
+    MultiParamCoster,
+    PointCoster,
+)
+from repro.optimizer.exhaustive import enumerate_left_deep_plans, exhaustive_best
+from repro.optimizer.systemr import SystemRDP
+from repro.plans.nodes import Sort
+from repro.plans.query import JoinPredicate, JoinQuery, QueryError, RelationSpec
+from repro.workloads.queries import chain_query, clique_query, star_query
+
+
+class TestBasics:
+    def test_single_relation_query(self):
+        q = JoinQuery([RelationSpec("A", pages=10.0)])
+        res = SystemRDP(PointCoster(100.0)).optimize(q)
+        assert res.plan.relations() == frozenset({"A"})
+        assert res.objective == 0.0  # unfiltered scan is free
+
+    def test_two_relation_picks_cheapest_method(self, example_query):
+        res = SystemRDP(PointCoster(2000.0)).optimize(example_query)
+        # At 2000 pages SM wins (order for free): Theorem 2.1 behaviour.
+        assert "SM" in res.plan.signature()
+        assert res.objective == 2_800_000.0
+
+    def test_objective_matches_independent_plan_cost(self, example_query):
+        cm = CostModel()
+        res = SystemRDP(PointCoster(700.0, cost_model=cm)).optimize(example_query)
+        assert cm.plan_cost(res.plan, example_query, 700.0) == pytest.approx(
+            res.objective
+        )
+
+    def test_disconnected_query_rejected_without_cross_products(self):
+        q = JoinQuery(
+            [RelationSpec("A", pages=10.0), RelationSpec("B", pages=10.0)]
+        )
+        with pytest.raises(QueryError):
+            SystemRDP(PointCoster(100.0)).optimize(q)
+
+    def test_cross_products_allowed_when_enabled(self):
+        q = JoinQuery(
+            [RelationSpec("A", pages=10.0), RelationSpec("B", pages=10.0)]
+        )
+        res = SystemRDP(
+            PointCoster(100.0), allow_cross_products=True
+        ).optimize(q)
+        assert res.plan.relations() == frozenset({"A", "B"})
+
+    def test_enforcer_sort_added_only_when_needed(self, example_query):
+        res = SystemRDP(PointCoster(700.0)).optimize(example_query)
+        # At 700 pages the LSC winner is GH + sort.
+        assert isinstance(res.plan.root, Sort)
+
+    def test_stats_populated(self, three_way_query):
+        res = SystemRDP(PointCoster(500.0)).optimize(three_way_query)
+        assert res.stats.subsets_explored >= 3
+        assert res.stats.entries_offered > 0
+        assert res.stats.formula_evaluations > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SystemRDP(PointCoster(10.0), plan_space="zigzag")
+        with pytest.raises(ValueError):
+            SystemRDP(PointCoster(10.0), top_k=0)
+
+    def test_markov_coster_rejects_bushy(self, bimodal_memory):
+        chain = sticky_chain(bimodal_memory, 0.5)
+        with pytest.raises(ValueError):
+            SystemRDP(MarkovCoster(chain), plan_space="bushy")
+
+
+class TestAgainstExhaustive:
+    """The DP must equal brute-force enumeration over left-deep plans."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_point_coster(self, seed):
+        rng = np.random.default_rng(seed)
+        q = chain_query(4, rng, require_order=bool(seed % 2))
+        cm = CostModel(count_evaluations=False)
+        res = SystemRDP(PointCoster(900.0)).optimize(q)
+        best, _ = exhaustive_best(
+            q, lambda p: cm.plan_cost(p, q, 900.0), DEFAULT_METHODS
+        )
+        assert res.objective == pytest.approx(best.objective)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_expected_coster(self, seed, small_memory_dist):
+        rng = np.random.default_rng(100 + seed)
+        q = star_query(4, rng, require_order=bool(seed % 2))
+        cm = CostModel(count_evaluations=False)
+        res = SystemRDP(ExpectedCoster(small_memory_dist)).optimize(q)
+        best, _ = exhaustive_best(
+            q,
+            lambda p: cm.plan_expected_cost(p, q, small_memory_dist),
+            DEFAULT_METHODS,
+        )
+        assert res.objective == pytest.approx(best.objective)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_markov_coster(self, seed, small_memory_dist):
+        rng = np.random.default_rng(200 + seed)
+        q = chain_query(4, rng)
+        chain = sticky_chain(small_memory_dist, 0.5 + 0.1 * seed)
+        cm = CostModel(count_evaluations=False)
+        res = SystemRDP(MarkovCoster(chain)).optimize(q)
+        best, _ = exhaustive_best(
+            q,
+            lambda p: cm.plan_expected_cost_markov(p, q, chain),
+            DEFAULT_METHODS,
+        )
+        assert res.objective == pytest.approx(best.objective)
+
+    def test_clique_query(self, small_memory_dist):
+        rng = np.random.default_rng(17)
+        q = clique_query(4, rng)
+        cm = CostModel(count_evaluations=False)
+        res = SystemRDP(ExpectedCoster(small_memory_dist)).optimize(q)
+        best, _ = exhaustive_best(
+            q,
+            lambda p: cm.plan_expected_cost(p, q, small_memory_dist),
+            DEFAULT_METHODS,
+        )
+        assert res.objective == pytest.approx(best.objective)
+
+
+class TestTopK:
+    def test_candidates_sorted_and_distinct(self, three_way_query):
+        res = SystemRDP(PointCoster(700.0), top_k=5).optimize(three_way_query)
+        objectives = [c.objective for c in res.candidates]
+        assert objectives == sorted(objectives)
+        signatures = [c.plan.signature() for c in res.candidates]
+        assert len(set(signatures)) == len(signatures)
+
+    def test_topk_includes_true_runner_up(self, three_way_query):
+        cm = CostModel(count_evaluations=False)
+        res = SystemRDP(PointCoster(700.0), top_k=4).optimize(three_way_query)
+        _, all_plans = exhaustive_best(
+            three_way_query,
+            lambda p: cm.plan_cost(p, three_way_query, 700.0),
+            DEFAULT_METHODS,
+        )
+        # The DP's best and second-best must match the exhaustive ranking.
+        assert res.candidates[0].objective == pytest.approx(all_plans[0].objective)
+        assert res.candidates[1].objective == pytest.approx(all_plans[1].objective)
+
+    def test_topk_one_returns_single_candidate(self, three_way_query):
+        res = SystemRDP(PointCoster(700.0), top_k=1).optimize(three_way_query)
+        assert len(res.candidates) == 1
+
+
+class TestBushy:
+    def test_bushy_never_worse_than_left_deep(self, small_memory_dist):
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            q = clique_query(4, rng)
+            ld = SystemRDP(ExpectedCoster(small_memory_dist)).optimize(q)
+            bushy = SystemRDP(
+                ExpectedCoster(small_memory_dist), plan_space="bushy"
+            ).optimize(q)
+            assert bushy.objective <= ld.objective + 1e-6
+
+    def test_bushy_objective_matches_plan_cost(self, small_memory_dist):
+        rng = np.random.default_rng(9)
+        q = clique_query(4, rng)
+        cm = CostModel()
+        res = SystemRDP(
+            ExpectedCoster(small_memory_dist, cost_model=cm), plan_space="bushy"
+        ).optimize(q)
+        eval_cm = CostModel(count_evaluations=False)
+        assert eval_cm.plan_expected_cost(
+            res.plan, q, small_memory_dist
+        ) == pytest.approx(res.objective)
+
+    def test_bushy_can_beat_left_deep_somewhere(self):
+        # Construct a clique where joining two small relations first on
+        # each side is the winner.
+        q = JoinQuery(
+            [
+                RelationSpec("A", pages=100_000.0),
+                RelationSpec("B", pages=90_000.0),
+                RelationSpec("C", pages=110_000.0),
+                RelationSpec("D", pages=95_000.0),
+            ],
+            [
+                JoinPredicate("A", "B", selectivity=1e-10),
+                JoinPredicate("C", "D", selectivity=1e-10),
+                JoinPredicate("B", "C", selectivity=1e-10),
+                JoinPredicate("A", "D", selectivity=1e-10),
+            ],
+        )
+        mem = point_mass(500.0)
+        ld = SystemRDP(ExpectedCoster(mem)).optimize(q)
+        bushy = SystemRDP(ExpectedCoster(mem), plan_space="bushy").optimize(q)
+        assert bushy.objective <= ld.objective
+        assert not bushy.plan.is_left_deep() or (
+            bushy.objective == pytest.approx(ld.objective)
+        )

@@ -1,0 +1,157 @@
+"""Tests for JoinQuery, RelationSpec and JoinPredicate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import Catalog, Column, Table
+from repro.catalog.statistics import StatisticsCatalog
+from repro.core.distributions import two_point
+from repro.plans.query import JoinPredicate, JoinQuery, QueryError, RelationSpec
+
+
+class TestRelationSpec:
+    def test_defaults(self):
+        r = RelationSpec("R", pages=100.0)
+        assert r.filter_selectivity == 1.0
+        assert r.pages_distribution().is_point_mass()
+
+    def test_pages_distribution_passthrough(self):
+        d = two_point(50.0, 0.5, 150.0)
+        r = RelationSpec("R", pages=100.0, pages_dist=d)
+        assert r.pages_distribution() is d
+
+    def test_rejects_negative_pages(self):
+        with pytest.raises(QueryError):
+            RelationSpec("R", pages=-1.0)
+
+    def test_rejects_bad_filter(self):
+        with pytest.raises(QueryError):
+            RelationSpec("R", pages=1.0, filter_selectivity=1.5)
+
+
+class TestJoinPredicate:
+    def test_label_defaults_to_canonical_pair(self):
+        p = JoinPredicate("B", "A", selectivity=0.1)
+        assert p.label == "A=B"
+
+    def test_connects(self):
+        p = JoinPredicate("A", "B", selectivity=0.1)
+        assert p.connects("B", "A")
+        assert not p.connects("A", "C")
+
+    def test_selectivity_distribution_default(self):
+        p = JoinPredicate("A", "B", selectivity=0.25)
+        assert p.selectivity_distribution().mean() == pytest.approx(0.25)
+
+    def test_rejects_bad_selectivity(self):
+        with pytest.raises(QueryError):
+            JoinPredicate("A", "B", selectivity=1.5)
+
+
+class TestJoinQuery:
+    def test_basic_lookups(self, three_way_query):
+        assert three_way_query.n_relations == 3
+        assert three_way_query.relation("S").pages == 8_000.0
+        assert three_way_query.relation_names() == ["R", "S", "T"]
+        assert three_way_query.pages_of("T") == 1_000.0
+        assert three_way_query.rows_of("T") == 100_000.0
+
+    def test_unknown_relation(self, three_way_query):
+        with pytest.raises(QueryError):
+            three_way_query.relation("Z")
+
+    def test_rows_respects_filter(self):
+        q = JoinQuery([RelationSpec("X", pages=10.0, filter_selectivity=0.5)])
+        assert q.rows_of("X") == pytest.approx(500.0)
+
+    def test_predicates_within(self, three_way_query):
+        preds = three_way_query.predicates_within(frozenset(["R", "S"]))
+        assert [p.label for p in preds] == ["R=S"]
+        assert (
+            len(three_way_query.predicates_within(frozenset(["R", "S", "T"]))) == 2
+        )
+
+    def test_predicates_between(self, three_way_query):
+        preds = three_way_query.predicates_between(frozenset(["R", "S"]), "T")
+        assert [p.label for p in preds] == ["S=T"]
+        assert three_way_query.predicates_between(frozenset(["R"]), "T") == []
+
+    def test_connectivity(self, three_way_query):
+        assert three_way_query.is_connected()
+        assert three_way_query.is_connected(frozenset(["R", "S"]))
+        assert not three_way_query.is_connected(frozenset(["R", "T"]))
+        assert three_way_query.is_connected(frozenset(["R"]))
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery(
+                [RelationSpec("A", pages=1.0), RelationSpec("A", pages=2.0)]
+            )
+
+    def test_unknown_predicate_endpoint_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery(
+                [RelationSpec("A", pages=1.0)],
+                [JoinPredicate("A", "Z", selectivity=0.5)],
+            )
+
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery(
+                [RelationSpec("A", pages=1.0)],
+                [JoinPredicate("A", "A", selectivity=0.5)],
+            )
+
+    def test_required_order_must_be_predicate_label(self):
+        with pytest.raises(QueryError):
+            JoinQuery(
+                [RelationSpec("A", pages=1.0), RelationSpec("B", pages=1.0)],
+                [JoinPredicate("A", "B", selectivity=0.5, label="A=B")],
+                required_order="bogus",
+            )
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            JoinQuery([])
+
+    def test_has_uncertain_sizes(self, three_way_query):
+        assert not three_way_query.has_uncertain_sizes()
+        q = JoinQuery(
+            [
+                RelationSpec("A", pages=1.0, pages_dist=two_point(1.0, 0.5, 2.0)),
+                RelationSpec("B", pages=1.0),
+            ],
+            [JoinPredicate("A", "B", selectivity=0.5)],
+        )
+        assert q.has_uncertain_sizes()
+
+
+class TestFromCatalog:
+    def test_builds_query_with_classic_selectivity(self):
+        catalog = Catalog(
+            [
+                Table(
+                    "emp",
+                    [Column("id", n_distinct=10_000), Column("dept", n_distinct=100)],
+                    n_rows=10_000,
+                    rows_per_page=100,
+                ),
+                Table(
+                    "dept",
+                    [Column("id", n_distinct=100)],
+                    n_rows=100,
+                    rows_per_page=100,
+                ),
+            ]
+        )
+        stats = StatisticsCatalog(catalog)
+        q = JoinQuery.from_catalog(
+            stats,
+            ["emp", "dept"],
+            {("emp", "dept"): ("dept", "id")},
+        )
+        assert q.n_relations == 2
+        pred = q.predicates[0]
+        assert pred.selectivity == pytest.approx(1.0 / 100)
+        assert q.relation("emp").pages == 100.0

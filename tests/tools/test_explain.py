@@ -1,0 +1,75 @@
+"""Tests for the EXPLAIN-style cost breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import optimize_algorithm_c
+from repro.costmodel.model import CostModel
+from repro.tools.explain import explain_costs, render_explanation
+
+
+class TestExplainCosts:
+    def test_shares_sum_to_one(self, example_query, bimodal_memory):
+        res = optimize_algorithm_c(example_query, bimodal_memory)
+        lines = explain_costs(res.plan, example_query, bimodal_memory)
+        assert sum(l.share for l in lines) == pytest.approx(1.0)
+
+    def test_total_matches_plan_expected_cost(self, example_query, bimodal_memory):
+        res = optimize_algorithm_c(example_query, bimodal_memory)
+        lines = explain_costs(res.plan, example_query, bimodal_memory)
+        cm = CostModel(count_evaluations=False)
+        total = sum(l.expected_cost for l in lines)
+        assert total == pytest.approx(
+            cm.plan_expected_cost(res.plan, example_query, bimodal_memory)
+        )
+
+    def test_point_memory_accepted(self, example_query):
+        from repro.core import point_mass
+
+        res = optimize_algorithm_c(example_query, point_mass(2000.0))
+        lines = explain_costs(res.plan, example_query, 2000.0)
+        assert all(l.worst_cost == pytest.approx(l.expected_cost) for l in lines)
+
+    def test_worst_at_least_expected(self, example_query, bimodal_memory):
+        res = optimize_algorithm_c(example_query, bimodal_memory)
+        for line in explain_costs(res.plan, example_query, bimodal_memory):
+            assert line.worst_cost >= line.expected_cost - 1e-9
+
+    def test_render_contains_every_operator(self, example_query, bimodal_memory):
+        res = optimize_algorithm_c(example_query, bimodal_memory)
+        lines = explain_costs(res.plan, example_query, bimodal_memory)
+        text = render_explanation(lines)
+        for line in lines:
+            assert line.label in text
+
+
+class TestDistributionConditioning:
+    def test_truncate_renormalises(self, small_memory_dist):
+        cond = small_memory_dist.truncate(lo=800.0)
+        assert cond.min() == 800.0
+        assert float(cond.probs.sum()) == pytest.approx(1.0)
+        # Relative masses preserved: 0.3/0.3/0.2 -> 0.375/0.375/0.25.
+        assert cond.prob_of(5000.0) == pytest.approx(0.25)
+
+    def test_truncate_both_sides(self, small_memory_dist):
+        cond = small_memory_dist.truncate(lo=500.0, hi=2500.0)
+        assert cond.support() == [800.0, 2000.0]
+
+    def test_truncate_empty_event(self, small_memory_dist):
+        with pytest.raises(ValueError):
+            small_memory_dist.truncate(lo=1e9)
+
+    def test_entropy_zero_for_point_mass(self):
+        from repro.core import point_mass
+
+        assert point_mass(5.0).entropy() == 0.0
+
+    def test_entropy_max_for_uniform(self):
+        import math
+
+        from repro.core import uniform_over, two_point
+
+        u = uniform_over([1, 2, 3, 4])
+        assert u.entropy() == pytest.approx(math.log(4))
+        assert two_point(1.0, 0.9, 2.0).entropy() < u.entropy()

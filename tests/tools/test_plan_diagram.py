@@ -1,0 +1,101 @@
+"""Tests for the ASCII plan diagrams."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.plans.query import JoinPredicate, JoinQuery, RelationSpec
+from repro.tools.plan_diagram import (
+    PlanDiagram,
+    memory_plan_diagram,
+    memory_selectivity_diagram,
+)
+
+
+class TestMemoryDiagram:
+    def test_example_1_1_boundary_at_1000(self, example_query):
+        d = memory_plan_diagram(example_query, 100.0, 10_000.0, width=80)
+        assert d.n_plans == 2
+        boundaries = d.region_boundaries()
+        assert len(boundaries) == 1
+        # The true boundary is sqrt(1,000,000) = 1000; the sampled grid
+        # localises it within one log-step.
+        assert 900 <= boundaries[0] <= 1150
+
+    def test_letters_and_legend_consistent(self, example_query):
+        d = memory_plan_diagram(example_query, 100.0, 10_000.0, width=30)
+        used = set(d.grid[0])
+        assert used == set(d.legend)
+
+    def test_low_memory_region_is_hash(self, example_query):
+        d = memory_plan_diagram(example_query, 100.0, 10_000.0, width=30)
+        assert "GH" in d.legend[d.letter_at(0)]
+        assert "SM" in d.legend[d.letter_at(len(d.x_values) - 1)]
+
+    def test_render_contains_axes_and_legend(self, example_query):
+        d = memory_plan_diagram(example_query, 100.0, 10_000.0, width=30)
+        text = d.render()
+        assert "memory pages" in text
+        assert " = " in text
+        assert "100" in text and "10k" in text
+
+    def test_grid_validation(self, example_query):
+        with pytest.raises(ValueError):
+            memory_plan_diagram(example_query, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            memory_plan_diagram(example_query, 100.0, 10.0)
+        with pytest.raises(ValueError):
+            memory_plan_diagram(example_query, 10.0, 100.0, width=1)
+
+    def test_log_spacing(self, example_query):
+        d = memory_plan_diagram(example_query, 10.0, 1000.0, width=3)
+        assert d.x_values == pytest.approx([10.0, 100.0, 1000.0])
+
+
+@pytest.fixture
+def three_way() -> JoinQuery:
+    return JoinQuery(
+        [
+            RelationSpec("R", pages=60_000.0),
+            RelationSpec("S", pages=9_000.0),
+            RelationSpec("T", pages=1_200.0),
+        ],
+        [
+            JoinPredicate("R", "S", selectivity=2e-7, label="R=S"),
+            JoinPredicate("S", "T", selectivity=1.4e-4, label="S=T"),
+        ],
+        rows_per_page=100,
+    )
+
+
+class TestSelectivityDiagram:
+    def test_shape(self, three_way):
+        d = memory_selectivity_diagram(
+            three_way, "R=S", 50.0, 50_000.0, 1e-9, 1e-5, width=20, height=6
+        )
+        assert len(d.grid) == 6
+        assert all(len(row) == 20 for row in d.grid)
+        assert d.n_plans >= 2
+
+    def test_unknown_predicate(self, three_way):
+        with pytest.raises(ValueError):
+            memory_selectivity_diagram(
+                three_way, "nope", 50.0, 500.0, 1e-9, 1e-5
+            )
+
+    def test_selectivity_changes_plans(self, three_way):
+        d = memory_selectivity_diagram(
+            three_way, "R=S", 50.0, 50_000.0, 1e-9, 1e-5, width=16, height=8
+        )
+        # Top row (fattest selectivity) differs somewhere from the bottom.
+        assert d.grid[0] != d.grid[-1]
+
+    def test_render_marks_both_axes(self, three_way):
+        d = memory_selectivity_diagram(
+            three_way, "R=S", 50.0, 5_000.0, 1e-8, 1e-6, width=12, height=4
+        )
+        text = d.render()
+        assert "selectivity of R=S" in text
+        assert text.count("|") >= 4  # y-axis gutter

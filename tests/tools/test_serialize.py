@@ -1,0 +1,195 @@
+"""Tests for JSON serialization of plans and plan stores."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.distributions import two_point, uniform_over
+from repro.costmodel.model import CostModel
+from repro.plans.nodes import Join, Plan, Scan, Sort
+from repro.plans.properties import AccessPath, JoinMethod
+from repro.strategies.choice_nodes import build_choice_plan
+from repro.strategies.parametric import parametric_optimize
+from repro.tools.serialize import (
+    SerializationError,
+    distribution_from_dict,
+    dumps,
+    loads,
+    plan_from_dict,
+    plan_to_dict,
+)
+
+
+@pytest.fixture
+def sample_plan() -> Plan:
+    join = Join(
+        Join(
+            Scan("R", access=AccessPath.INDEX_SCAN, filter_label="f"),
+            Scan("S"),
+            JoinMethod.SORT_MERGE,
+            "R=S",
+            "k",
+        ),
+        Scan("T"),
+        JoinMethod.GRACE_HASH,
+        "S=T",
+    )
+    return Plan(Sort(child=join, sort_order="k"))
+
+
+class TestPlanRoundTrip:
+    def test_identity(self, sample_plan):
+        doc = plan_to_dict(sample_plan)
+        back = plan_from_dict(doc)
+        assert back == sample_plan
+        assert back.signature() == sample_plan.signature()
+
+    def test_json_string_roundtrip(self, sample_plan):
+        text = dumps(sample_plan)
+        json.loads(text)  # valid JSON
+        assert loads(text) == sample_plan
+
+    def test_order_labels_preserved(self, sample_plan):
+        back = loads(dumps(sample_plan))
+        inner = back.joins()[0]
+        assert inner.order_label == "k"
+        assert inner.order == "k"
+
+    def test_access_paths_preserved(self, sample_plan):
+        back = loads(dumps(sample_plan))
+        scan = back.scans()[0]
+        assert scan.access is AccessPath.INDEX_SCAN
+        assert scan.filter_label == "f"
+
+    def test_costable_after_roundtrip(self, sample_plan, three_way_query):
+        plain = Plan(
+            Join(
+                Join(Scan("R"), Scan("S"), JoinMethod.SORT_MERGE, "R=S"),
+                Scan("T"),
+                JoinMethod.GRACE_HASH,
+                "S=T",
+            )
+        )
+        back = loads(dumps(plain))
+        cm = CostModel(count_evaluations=False)
+        assert cm.plan_cost(back, three_way_query, 500.0) == pytest.approx(
+            cm.plan_cost(plain, three_way_query, 500.0)
+        )
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict({"kind": "plan", "root": {"op": "teleport"}})
+        with pytest.raises(SerializationError):
+            plan_from_dict({"not": "a plan"})
+        with pytest.raises(SerializationError):
+            plan_from_dict(
+                {"kind": "plan", "root": {"op": "join", "method": "ZZ"}}
+            )
+
+
+class TestDistributionRoundTrip:
+    def test_identity(self):
+        d = two_point(2000.0, 0.8, 700.0)
+        assert loads(dumps(d)) == d
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(SerializationError):
+            distribution_from_dict(
+                {"kind": "distribution", "values": [1.0], "probs": [0.5]}
+            )
+
+
+class TestPlanStores:
+    def test_parametric_roundtrip(self, example_query):
+        pset = parametric_optimize(example_query, 100.0, 5000.0)
+        back = loads(dumps(pset))
+        assert back.n_regions == pset.n_regions
+        for m in (150.0, 700.0, 2000.0, 9000.0):
+            assert back.plan_for(m) == pset.plan_for(m)
+        assert math.isinf(back.regions[-1].hi)
+
+    def test_choice_plan_roundtrip(self, example_query):
+        cp = build_choice_plan(example_query, 100.0, 5000.0)
+        back = loads(dumps(cp))
+        assert back.thresholds == cp.thresholds
+        for m in (200.0, 1500.0):
+            assert back.resolve(m) == cp.resolve(m)
+
+    def test_startup_lookup_after_roundtrip(self, example_query, bimodal_memory):
+        """The paper's store-at-compile-time / look-up-at-start-up flow."""
+        pset = parametric_optimize(example_query, 100.0, 5000.0)
+        stored = dumps(pset)
+        # ... a different process, later ...
+        restored = loads(stored)
+        cost = restored.expected_cost_with_lookup(example_query, bimodal_memory)
+        assert cost == pytest.approx(
+            pset.expected_cost_with_lookup(example_query, bimodal_memory)
+        )
+
+
+class TestTopLevel:
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            loads('{"kind": "spaceship"}')
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads("{nope")
+
+    def test_missing_kind(self):
+        with pytest.raises(SerializationError):
+            loads('{"values": [1]}')
+
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError):
+            dumps(42)
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: every generated plan survives dumps/loads unchanged."""
+
+    def test_random_plans_roundtrip(self):
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.costmodel.model import DEFAULT_METHODS
+        from repro.optimizer.exhaustive import enumerate_left_deep_plans
+        from repro.workloads.queries import random_query
+
+        @given(
+            seed=st.integers(0, 2**31),
+            n=st.integers(2, 4),
+            take=st.integers(0, 30),
+        )
+        @settings(max_examples=40, deadline=None)
+        def check(seed, n, take):
+            rng = np.random.default_rng(seed)
+            q = random_query(n, rng)
+            plans = list(enumerate_left_deep_plans(q, DEFAULT_METHODS))
+            plan = plans[take % len(plans)]
+            assert loads(dumps(plan)) == plan
+
+        check()
+
+    def test_random_distributions_roundtrip(self):
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.distributions import DiscreteDistribution
+
+        @given(seed=st.integers(0, 2**31), b=st.integers(1, 12))
+        @settings(max_examples=40, deadline=None)
+        def check(seed, b):
+            rng = np.random.default_rng(seed)
+            d = DiscreteDistribution(
+                np.sort(rng.uniform(0, 1e6, b)), rng.dirichlet(np.ones(b))
+            )
+            back = loads(dumps(d))
+            assert back == d
+
+        check()
