@@ -14,7 +14,7 @@ Run:  python examples/dynamic_memory.py
 
 import numpy as np
 
-from repro import CostModel, lsc_at_mean, optimize_algorithm_c
+from repro import CostModel, optimize
 from repro.core.markov import MarkovParameter
 
 
@@ -46,9 +46,9 @@ def main() -> None:
     print()
 
     eval_cm = CostModel(count_evaluations=False)
-    lsc = lsc_at_mean(query, chain.marginal(0))
-    static = optimize_algorithm_c(query, chain.marginal(0))
-    dynamic = optimize_algorithm_c(query, chain)
+    lsc = optimize(query, "point", memory=chain.marginal(0))
+    static = optimize(query, "lec", memory=chain.marginal(0))
+    dynamic = optimize(query, "markov", memory=chain)
 
     def true_cost(plan) -> float:
         return eval_cm.plan_expected_cost_markov(plan, query, chain)

@@ -11,7 +11,7 @@ Run:  python examples/uncertain_selectivities.py
 
 import numpy as np
 
-from repro import CostModel, lsc_at_mean, optimize_algorithm_d, plan_expected_cost_multiparam
+from repro import CostModel, last_context, optimize, plan_expected_cost_multiparam
 from repro.catalog import estimate_selectivity, selectivity_posterior
 from repro.core.distributions import DiscreteDistribution
 from repro.plans.query import JoinPredicate, JoinQuery, RelationSpec
@@ -75,11 +75,14 @@ def main() -> None:
     )
     memory = DiscreteDistribution([12.0, 25.0, 300.0], [0.35, 0.35, 0.30])
 
-    lsc = lsc_at_mean(query, memory)
-    lec_d = optimize_algorithm_d(query, memory, max_buckets=12, fast=True)
+    lsc = optimize(query, "point", memory=memory)
+    lec_d = optimize(query, "multiparam", memory=memory, max_buckets=12, fast=True)
+    context = last_context()  # reuse Algorithm D's size distributions
 
     def score(plan) -> float:
-        return plan_expected_cost_multiparam(plan, query, memory, max_buckets=12, fast=True)
+        return plan_expected_cost_multiparam(
+            plan, query, memory, max_buckets=12, fast=True, context=context
+        )
 
     print("Classical plan:  ", lsc.plan.signature())
     print("Algorithm D plan:", lec_d.plan.signature())

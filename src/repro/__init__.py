@@ -10,8 +10,7 @@ that is merely cheapest at a single point estimate.
 Quickstart::
 
     from repro import (
-        JoinQuery, RelationSpec, JoinPredicate,
-        two_point, optimize_algorithm_c, lsc_at_mean,
+        JoinQuery, RelationSpec, JoinPredicate, two_point, optimize,
     )
 
     memory = two_point(2000, 0.8, 700)          # pages
@@ -22,11 +21,15 @@ Quickstart::
                                   result_pages_override=3000)],
         required_order="A=B",
     )
-    lec = optimize_algorithm_c(query, memory)   # least expected cost
-    lsc = lsc_at_mean(query, memory)            # classical baseline
+    lec = optimize(query, "lec", memory=memory)    # least expected cost
+    lsc = optimize(query, "point", memory=memory)  # classical baseline
+
+Both calls share one memoized :class:`~repro.core.context.
+OptimizationContext`; see :func:`repro.optimize` for every objective.
 """
 
 from .core import (
+    CacheStats,
     DiscreteDistribution,
     ExpectedCost,
     ExponentialUtility,
@@ -40,6 +43,7 @@ from .core import (
     from_samples,
     lsc_at_mean,
     lsc_at_mode,
+    OptimizationContext,
     optimize_algorithm_a,
     optimize_algorithm_b,
     optimize_algorithm_c,
@@ -57,10 +61,14 @@ from .costmodel import CostModel
 from .db import Database, QueryResult
 from .optimizer import (
     OptimizationResult,
+    OptimizerConfigError,
     PlanChoice,
     SystemRDP,
+    clear_context_cache,
     enumerate_left_deep_plans,
     exhaustive_best,
+    last_context,
+    optimize,
 )
 from .plans import (
     JoinMethod,
@@ -75,6 +83,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "optimize",
+    "last_context",
+    "clear_context_cache",
+    "OptimizationContext",
+    "CacheStats",
+    "OptimizerConfigError",
     "DiscreteDistribution",
     "point_mass",
     "two_point",

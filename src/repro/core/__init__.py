@@ -5,6 +5,7 @@ from .algorithm_b import optimize_algorithm_b
 from .algorithm_c import optimize_algorithm_c
 from .algorithm_d import optimize_algorithm_d, plan_expected_cost_multiparam
 from .bayesnet import BayesNetError, DiscreteBayesNet
+from .context import CacheStats, OptimizationContext, query_fingerprint
 from .bucketing import (
     collect_memory_breakpoints,
     equal_depth_buckets,
@@ -45,6 +46,9 @@ from .risk import (
 )
 
 __all__ = [
+    "OptimizationContext",
+    "CacheStats",
+    "query_fingerprint",
     "DiscreteDistribution",
     "point_mass",
     "two_point",

@@ -22,6 +22,7 @@ from ..optimizer.result import OptimizationResult, OptimizerStats, PlanChoice
 from ..optimizer.systemr import SystemRDP
 from ..plans.nodes import Plan
 from ..plans.query import JoinQuery
+from .context import OptimizationContext
 from .distributions import DiscreteDistribution
 
 __all__ = ["optimize_algorithm_a"]
@@ -34,15 +35,19 @@ def optimize_algorithm_a(
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
     include_mean: bool = True,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """Run Algorithm A and return the candidate of least expected cost.
 
     The returned ``candidates`` list holds every distinct per-bucket
     winner with its expected cost (best first); ``stats`` accumulates the
     counters of all ``b`` black-box invocations plus the final costing
-    pass.
+    pass.  A shared ``context`` lets the ``b`` black-box invocations (and
+    any sibling optimizers) reuse memoized sizes and step costs.
     """
     cm = cost_model if cost_model is not None else CostModel()
+    if context is None:
+        context = OptimizationContext(query, cost_model=cm)
     probe_points = list(memory.support())
     if include_mean and memory.mean() not in probe_points:
         probe_points.append(memory.mean())
@@ -54,6 +59,7 @@ def optimize_algorithm_a(
             PointCoster(m, cost_model=cm),
             plan_space=plan_space,
             allow_cross_products=allow_cross_products,
+            context=context,
         )
         result = engine.optimize(query)
         stats = stats.merged_with(result.stats)

@@ -16,6 +16,7 @@ from ..optimizer.costers import PointCoster
 from ..optimizer.result import OptimizationResult, OptimizerStats, PlanChoice
 from ..optimizer.systemr import SystemRDP
 from ..plans.query import JoinQuery
+from .context import OptimizationContext
 from .distributions import DiscreteDistribution
 
 __all__ = ["optimize_algorithm_b"]
@@ -29,6 +30,7 @@ def optimize_algorithm_b(
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
     include_mean: bool = True,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """Run Algorithm B with ``c`` plans per bucket; pick by expected cost.
 
@@ -38,6 +40,8 @@ def optimize_algorithm_b(
     if c < 1:
         raise ValueError("c must be >= 1")
     cm = cost_model if cost_model is not None else CostModel()
+    if context is None:
+        context = OptimizationContext(query, cost_model=cm)
     probe_points = list(memory.support())
     if include_mean and memory.mean() not in probe_points:
         probe_points.append(memory.mean())
@@ -50,6 +54,7 @@ def optimize_algorithm_b(
             plan_space=plan_space,
             allow_cross_products=allow_cross_products,
             top_k=c,
+            context=context,
         )
         result = engine.optimize(query)
         stats = stats.merged_with(result.stats)

@@ -23,6 +23,7 @@ from ..optimizer.costers import ExpectedCoster, MarkovCoster
 from ..optimizer.result import OptimizationResult
 from ..optimizer.systemr import SystemRDP
 from ..plans.query import JoinQuery
+from .context import OptimizationContext
 from .distributions import DiscreteDistribution
 
 __all__ = ["optimize_algorithm_c"]
@@ -34,6 +35,8 @@ def optimize_algorithm_c(
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    top_k: int = 1,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """Compute the LEC plan by expected-cost dynamic programming.
 
@@ -63,5 +66,7 @@ def optimize_algorithm_c(
         coster,
         plan_space=plan_space,
         allow_cross_products=allow_cross_products,
+        top_k=top_k,
+        context=context,
     )
     return engine.optimize(query)

@@ -25,7 +25,6 @@ from ..core.expected_cost import (
     expected_join_cost_fast,
     expected_join_cost_naive,
 )
-from ..costmodel.estimates import subset_size_distribution
 from ..costmodel.model import CostModel
 from ..optimizer.costers import MultiParamCoster
 from ..optimizer.result import OptimizationResult
@@ -33,6 +32,7 @@ from ..optimizer.systemr import SystemRDP
 from ..plans.nodes import Join, Plan, Scan, Sort
 from ..plans.properties import JoinMethod
 from ..plans.query import JoinQuery
+from .context import OptimizationContext
 from .distributions import DiscreteDistribution
 
 __all__ = ["optimize_algorithm_d", "plan_expected_cost_multiparam"]
@@ -46,6 +46,8 @@ def optimize_algorithm_d(
     fast: bool = False,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    top_k: int = 1,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """LEC optimization with distributional sizes and selectivities.
 
@@ -69,6 +71,8 @@ def optimize_algorithm_d(
         coster,
         plan_space=plan_space,
         allow_cross_products=allow_cross_products,
+        top_k=top_k,
+        context=context,
     )
     return engine.optimize(query)
 
@@ -80,23 +84,21 @@ def plan_expected_cost_multiparam(
     cost_model: Optional[CostModel] = None,
     max_buckets: int = 16,
     fast: bool = False,
+    context: Optional[OptimizationContext] = None,
 ) -> float:
     """``E[Φ(plan, V)]`` with V = (memory, sizes, selectivities).
 
     Walks the plan tree once, taking the same expectations the
     MultiParamCoster takes during the DP; usable on arbitrary plans (e.g.
-    the LSC plan, for regret measurements in E6).
+    the LSC plan, for regret measurements in E6).  A shared ``context``
+    reuses the DP's cached size distributions instead of rebuilding them.
     """
     cm = cost_model if cost_model is not None else CostModel()
-    size_cache: dict = {}
+    if context is None or not context.matches(query):
+        context = OptimizationContext(query, cost_model=cm)
 
     def size_dist(rels) -> DiscreteDistribution:
-        rels = frozenset(rels)
-        if rels not in size_cache:
-            size_cache[rels] = subset_size_distribution(
-                rels, query, max_buckets=max_buckets
-            )
-        return size_cache[rels]
+        return context.size_distribution(frozenset(rels), max_buckets=max_buckets)
 
     total = 0.0
     for node in plan.nodes():

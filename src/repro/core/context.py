@@ -1,0 +1,348 @@
+"""The shared optimization context: one memo layer for a whole query.
+
+Every costing objective in this library re-derives the same intermediate
+state: subset sizes and page-count distributions per relation subset,
+products/rebucketings of :class:`~repro.core.distributions.
+DiscreteDistribution` objects, and the survival tables behind the
+linear-time expected-cost paths.  Historically each coster rebuilt these
+privately on every :meth:`~repro.optimizer.costers.Coster.bind`, so
+running several optimizers over one query (Algorithms A-D, parametric
+region sweeps, the experiment harness) repeated identical work many
+times over.
+
+:class:`OptimizationContext` is the seam that removes that duplication.
+It is created once per (catalog, cost-model, query) triple and threaded
+through every layer — the costers, :class:`~repro.optimizer.systemr.
+SystemRDP`, Algorithms A-D, the deferred-decision strategies, and the
+:func:`repro.optimize` facade — memoizing:
+
+* **subset sizes** (``subset_size``) and **subset page-count
+  distributions** (``subset_size_distribution``), keyed by ``frozenset``
+  of relation names;
+* **distribution binary ops** — independent products, convolutions and
+  rebucketings — keyed by the operands' value-based hashes, so two
+  structurally equal distributions share one result;
+* **survival tables** (:class:`~repro.core.expected_cost._SurvivalTable`)
+  per memory distribution, amortised across all dag nodes and all
+  optimizer invocations;
+* **step costs** (join steps, materialisation writes, enforcer sorts)
+  via a generic namespaced memo that costers key by their full parameter
+  identity, so repeated optimizations of the same query skip straight to
+  the cached expectations.
+
+A context is *only* valid for the exact statistics it was built from:
+:func:`query_fingerprint` captures every number the optimizer can read
+(sizes, distributions, selectivities, orders), and :meth:`matches`
+refuses a query whose fingerprint differs — the facade uses this to
+build a fresh context whenever catalog statistics change.
+
+Cache effectiveness is observable: :meth:`stats` reports per-cache
+hit/miss counters, the number the context-cache micro-benchmark and the
+E4/E7-style overhead accounting rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from ..costmodel.estimates import (
+    SizeEstimate,
+    subset_size,
+    subset_size_distribution,
+)
+from ..costmodel.model import CostModel
+from .distributions import DiscreteDistribution, independent_product
+from .expected_cost import _SurvivalTable
+
+__all__ = ["CacheStats", "OptimizationContext", "query_fingerprint"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache inside the context."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups against this cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reporting."""
+        return {"hits": self.hits, "misses": self.misses, "hit_rate": self.hit_rate}
+
+
+def query_fingerprint(query) -> Tuple:
+    """A hashable digest of every statistic the optimizer reads.
+
+    Two queries with equal fingerprints are interchangeable for costing
+    purposes; a mutated catalog (different sizes, selectivities,
+    distributions) necessarily changes the fingerprint, which is how the
+    facade knows to discard a stale context.
+    """
+    relations = tuple(
+        (
+            r.name,
+            float(r.pages),
+            None if r.rows is None else float(r.rows),
+            r.pages_dist,
+            float(r.filter_selectivity),
+            r.index,
+        )
+        for r in query.relations
+    )
+    predicates = tuple(
+        (
+            p.left,
+            p.right,
+            float(p.selectivity),
+            p.label,
+            p.selectivity_dist,
+            None
+            if p.result_pages_override is None
+            else float(p.result_pages_override),
+            p.equiv_class,
+        )
+        for p in query.predicates
+    )
+    return (relations, predicates, query.required_order, query.rows_per_page)
+
+
+class OptimizationContext:
+    """Shared memoization for all optimizer layers working on one query.
+
+    Parameters
+    ----------
+    query:
+        The join query this context serves.  All caches are keyed under
+        the assumption that the query's statistics never change; build a
+        new context when they do (see :meth:`matches`).
+    cost_model:
+        The cost model the owning optimizers evaluate formulas with.
+        The context stores it for identification only — cached values
+        depend on the (pure) formula functions, not the instance.
+    default_max_buckets:
+        Rebucketing cap used when :meth:`size_distribution` is called
+        without an explicit ``max_buckets``.
+    """
+
+    def __init__(
+        self,
+        query,
+        cost_model: Optional[CostModel] = None,
+        default_max_buckets: int = 16,
+    ):
+        self.query = query
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.default_max_buckets = default_max_buckets
+        self.fingerprint: Tuple = query_fingerprint(query)
+
+        self._sizes: Dict[FrozenSet[str], SizeEstimate] = {}
+        self._size_dists: Dict[Tuple[FrozenSet[str], int], DiscreteDistribution] = {}
+        self._dist_ops: Dict[Tuple, DiscreteDistribution] = {}
+        self._survival: Dict[DiscreteDistribution, _SurvivalTable] = {}
+        self._cost_memo: Dict[Hashable, float] = {}
+        self._stats: Dict[str, CacheStats] = {
+            "subset_sizes": CacheStats(),
+            "size_distributions": CacheStats(),
+            "dist_ops": CacheStats(),
+            "survival_tables": CacheStats(),
+            "step_costs": CacheStats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+
+    def matches(self, query) -> bool:
+        """True when ``query`` carries the statistics this context serves.
+
+        Identity is the fast path; otherwise the fingerprints must agree
+        — a query rebuilt from mutated catalog statistics fails this
+        check, forcing callers to construct a fresh context rather than
+        silently reusing stale sizes and distributions.
+        """
+        if query is self.query:
+            return True
+        return query_fingerprint(query) == self.fingerprint
+
+    # ------------------------------------------------------------------
+    # Layer 1: subset sizes
+    # ------------------------------------------------------------------
+
+    def subset_size(self, rels: Iterable[str]) -> SizeEstimate:
+        """Memoized point size estimate for the join over ``rels``."""
+        key = frozenset(rels)
+        stats = self._stats["subset_sizes"]
+        cached = self._sizes.get(key)
+        if cached is not None:
+            stats.hits += 1
+            return cached
+        stats.misses += 1
+        est = subset_size(key, self.query)
+        self._sizes[key] = est
+        return est
+
+    def subset_pages(self, rels: Iterable[str]) -> float:
+        """Memoized point page count for the join over ``rels``."""
+        return self.subset_size(rels).pages
+
+    def size_distribution(
+        self, rels: Iterable[str], max_buckets: Optional[int] = None
+    ) -> DiscreteDistribution:
+        """Memoized page-count distribution for the join over ``rels``.
+
+        The underlying propagation routes its distribution products and
+        rebucketings through this context's op cache, so structurally
+        shared subexpressions (the same relation pair inside two larger
+        subsets, say) are computed once.
+        """
+        buckets = max_buckets if max_buckets is not None else self.default_max_buckets
+        key = (frozenset(rels), buckets)
+        stats = self._stats["size_distributions"]
+        cached = self._size_dists.get(key)
+        if cached is not None:
+            stats.hits += 1
+            return cached
+        stats.misses += 1
+        dist = subset_size_distribution(
+            key[0], self.query, max_buckets=buckets, ops=self
+        )
+        self._size_dists[key] = dist
+        return dist
+
+    # ------------------------------------------------------------------
+    # Layer 2: distribution binary ops (value-hash keyed)
+    # ------------------------------------------------------------------
+    # These three methods satisfy the ``ops`` protocol of
+    # :func:`repro.costmodel.estimates.subset_size_distribution`.
+
+    def product(
+        self, a: DiscreteDistribution, b: DiscreteDistribution
+    ) -> DiscreteDistribution:
+        """Cached distribution of ``X · Y`` for independent ``X, Y``."""
+        return self._dist_op(
+            ("mul", a, b), lambda: independent_product(lambda x, y: x * y, a, b)
+        )
+
+    def convolve(
+        self, a: DiscreteDistribution, b: DiscreteDistribution
+    ) -> DiscreteDistribution:
+        """Cached distribution of ``X + Y`` for independent ``X, Y``."""
+        return self._dist_op(
+            ("add", a, b), lambda: independent_product(lambda x, y: x + y, a, b)
+        )
+
+    def rebucket(
+        self,
+        dist: DiscreteDistribution,
+        n_buckets: int,
+        strategy: str = "equidepth",
+    ) -> DiscreteDistribution:
+        """Cached mean-preserving coarsening of ``dist``."""
+        if dist.n_buckets <= n_buckets:
+            return dist
+        return self._dist_op(
+            ("rebucket", dist, n_buckets, strategy),
+            lambda: dist.rebucket(n_buckets, strategy=strategy),
+        )
+
+    def _dist_op(
+        self, key: Tuple, compute: Callable[[], DiscreteDistribution]
+    ) -> DiscreteDistribution:
+        stats = self._stats["dist_ops"]
+        cached = self._dist_ops.get(key)
+        if cached is not None:
+            stats.hits += 1
+            return cached
+        stats.misses += 1
+        result = compute()
+        self._dist_ops[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Layer 3: fast-path structures
+    # ------------------------------------------------------------------
+
+    def survival_table(self, memory: DiscreteDistribution) -> _SurvivalTable:
+        """Memoized survival table for a memory distribution.
+
+        One table serves every dag node and every optimizer invocation
+        that shares this context — the amortisation the paper assumes
+        when counting the fast paths' preprocessing as O(b_M) *total*.
+        """
+        stats = self._stats["survival_tables"]
+        cached = self._survival.get(memory)
+        if cached is not None:
+            stats.hits += 1
+            return cached
+        stats.misses += 1
+        table = _SurvivalTable(memory)
+        self._survival[memory] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Layer 4: step-cost memo (costers key by their full identity)
+    # ------------------------------------------------------------------
+
+    def step_cost(self, key: Hashable, compute: Callable[[], float]) -> float:
+        """Memoized scalar step cost under a caller-supplied key.
+
+        Costers build keys from their complete parameter identity
+        (objective kind, memory value/distribution, bucket caps, method,
+        operand subsets, order flags), so two invocations can share a
+        value only when every ingredient of the expectation is equal.
+        """
+        stats = self._stats["step_costs"]
+        cached = self._cost_memo.get(key)
+        if cached is not None:
+            stats.hits += 1
+            return cached
+        stats.misses += 1
+        value = compute()
+        self._cost_memo[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-cache hit/miss counters (see :class:`CacheStats`)."""
+        return {name: cs.as_dict() for name, cs in self._stats.items()}
+
+    def total_hits(self) -> int:
+        """Total cache hits across every cache (the headline number)."""
+        return sum(cs.hits for cs in self._stats.values())
+
+    def clear(self) -> None:
+        """Drop every cached value (counters are reset too)."""
+        self._sizes.clear()
+        self._size_dists.clear()
+        self._dist_ops.clear()
+        self._survival.clear()
+        self._cost_memo.clear()
+        for cs in self._stats.values():
+            cs.hits = 0
+            cs.misses = 0
+
+    def __repr__(self) -> str:
+        entries = (
+            len(self._sizes)
+            + len(self._size_dists)
+            + len(self._dist_ops)
+            + len(self._survival)
+            + len(self._cost_memo)
+        )
+        return (
+            f"OptimizationContext({self.query!r}, entries={entries}, "
+            f"hits={self.total_hits()})"
+        )

@@ -49,6 +49,19 @@ class DistributionError(ValueError):
     """Raised when a distribution would be constructed from invalid data."""
 
 
+def _as_float_array(data) -> np.ndarray:
+    """1-d float view of ``data`` without an intermediate ``list`` copy.
+
+    Arrays and sequences go straight through ``np.asarray`` (ndarrays of
+    the right dtype are passed through as-is — safe because the
+    constructor's sorting/normalisation always produces fresh arrays
+    before freezing them); only lazy iterables are materialised first.
+    """
+    if isinstance(data, (np.ndarray, list, tuple)):
+        return np.asarray(data, dtype=float)
+    return np.asarray(list(data), dtype=float)
+
+
 class DiscreteDistribution:
     """An immutable finite discrete probability distribution.
 
@@ -73,8 +86,8 @@ class DiscreteDistribution:
     __slots__ = ("_values", "_probs", "_cdf", "_weighted_prefix", "_hash")
 
     def __init__(self, values: Iterable[float], probs: Iterable[float]):
-        vals = np.asarray(list(values), dtype=float)
-        prbs = np.asarray(list(probs), dtype=float)
+        vals = _as_float_array(values)
+        prbs = _as_float_array(probs)
         if vals.shape != prbs.shape or vals.ndim != 1:
             raise DistributionError(
                 f"values and probs must be 1-d and the same length, got shapes "

@@ -15,6 +15,7 @@ from ..costmodel.model import CostModel
 from ..optimizer.costers import PointCoster
 from ..optimizer.result import OptimizationResult
 from ..optimizer.systemr import SystemRDP
+from .context import OptimizationContext
 from ..plans.query import JoinQuery
 from .distributions import DiscreteDistribution
 
@@ -27,17 +28,22 @@ def optimize_lsc(
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    top_k: int = 1,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """Find the least-specific-cost plan at the given memory value.
 
     This is one invocation of the standard optimizer; Algorithms A and B
-    call it once per bucket.
+    call it once per bucket.  Passing a shared ``context`` lets repeated
+    invocations over the same query reuse memoized sizes and step costs.
     """
     coster = PointCoster(memory, cost_model=cost_model)
     engine = SystemRDP(
         coster,
         plan_space=plan_space,
         allow_cross_products=allow_cross_products,
+        top_k=top_k,
+        context=context,
     )
     return engine.optimize(query)
 
@@ -48,6 +54,7 @@ def lsc_at_mean(
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """The classical choice: optimize at the distribution's *mean*."""
     return optimize_lsc(
@@ -56,6 +63,7 @@ def lsc_at_mean(
         cost_model=cost_model,
         plan_space=plan_space,
         allow_cross_products=allow_cross_products,
+        context=context,
     )
 
 
@@ -65,6 +73,7 @@ def lsc_at_mode(
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    context: Optional[OptimizationContext] = None,
 ) -> OptimizationResult:
     """The other classical choice: optimize at the distribution's *mode*."""
     return optimize_lsc(
@@ -73,4 +82,5 @@ def lsc_at_mode(
         cost_model=cost_model,
         plan_space=plan_space,
         allow_cross_products=allow_cross_products,
+        context=context,
     )

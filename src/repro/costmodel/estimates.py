@@ -37,6 +37,28 @@ __all__ = [
 ]
 
 
+class _PlainDistributionOps:
+    """Uncached distribution operations (the default ``ops`` provider).
+
+    :class:`~repro.core.context.OptimizationContext` implements the same
+    three methods with value-hash memoization; passing a context as
+    ``ops`` makes size propagation share work across subsets and calls.
+    """
+
+    @staticmethod
+    def product(a: DiscreteDistribution, b: DiscreteDistribution) -> DiscreteDistribution:
+        return independent_product(lambda x, y: x * y, a, b)
+
+    @staticmethod
+    def rebucket(
+        dist: DiscreteDistribution, n_buckets: int, strategy: str = "equidepth"
+    ) -> DiscreteDistribution:
+        return dist.rebucket(n_buckets, strategy=strategy)
+
+
+_PLAIN_OPS = _PlainDistributionOps()
+
+
 @dataclass(frozen=True)
 class SizeEstimate:
     """Point estimate of an intermediate result's size."""
@@ -76,6 +98,7 @@ def subset_size_distribution(
     rels: FrozenSet[str],
     query: JoinQuery,
     max_buckets: int = 16,
+    ops=None,
 ) -> DiscreteDistribution:
     """Distribution over the page count of the join over ``rels``.
 
@@ -83,7 +106,13 @@ def subset_size_distribution(
     independent (the paper's default assumption); the exact product
     distribution is formed and then rebucketed to at most ``max_buckets``
     support points, preserving the mean.
+
+    ``ops`` supplies the distribution product/rebucket primitives; pass
+    an :class:`~repro.core.context.OptimizationContext` to memoize the
+    intermediate folds across subsets and optimizer invocations.
     """
+    if ops is None:
+        ops = _PLAIN_OPS
     rels = frozenset(rels)
     if not rels:
         raise ValueError("subset must be non-empty")
@@ -93,7 +122,7 @@ def subset_size_distribution(
         dist = spec.pages_distribution()
         if spec.filter_selectivity < 1.0:
             dist = dist.scale(spec.filter_selectivity).clip(lo=1.0)
-        return dist.rebucket(max_buckets)
+        return ops.rebucket(dist, max_buckets)
 
     preds = query.predicates_within(rels)
     if len(rels) == 2 and len(preds) == 1 and preds[0].result_pages_override is not None:
@@ -107,15 +136,14 @@ def subset_size_distribution(
     # Fold pairwise with intermediate rebucketing to keep the support small.
     acc = factors[0]
     for nxt in factors[1:]:
-        acc = independent_product(lambda a, b: a * b, acc, nxt)
-        acc = acc.rebucket(max_buckets)
+        acc = ops.rebucket(ops.product(acc, nxt), max_buckets)
     acc = acc.scale(rpp_power)
     # Account for local filters on the member relations.
     for name in rels:
         fsel = query.relation(name).filter_selectivity
         if fsel < 1.0:
             acc = acc.scale(fsel)
-    return acc.clip(lo=1.0).rebucket(max_buckets)
+    return ops.rebucket(acc.clip(lo=1.0), max_buckets)
 
 
 def node_size(node: PlanNode, query: JoinQuery) -> SizeEstimate:

@@ -12,14 +12,8 @@ from typing import List
 
 import numpy as np
 
-from ..core import (
-    optimize_algorithm_a,
-    optimize_algorithm_b,
-    optimize_algorithm_c,
-    lsc_at_mean,
-    lsc_at_mode,
-)
 from ..costmodel import CostModel
+from ..optimizer.facade import optimize
 from ..engine.simulator import compare_plans
 from ..workloads.scenarios import example_1_1
 from .harness import ExperimentTable
@@ -32,11 +26,13 @@ def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
     query, memory = example_1_1()
     cm = CostModel()
 
-    mode_res = lsc_at_mode(query, memory, cost_model=cm)
-    mean_res = lsc_at_mean(query, memory, cost_model=cm)
-    a_res = optimize_algorithm_a(query, memory, cost_model=cm)
-    b_res = optimize_algorithm_b(query, memory, c=3, cost_model=cm)
-    c_res = optimize_algorithm_c(query, memory, cost_model=cm)
+    # All five optimizers route through the facade and therefore share
+    # one OptimizationContext: sizes/step costs are computed once total.
+    mode_res = optimize(query, "point", memory=memory.mode(), cost_model=cm)
+    mean_res = optimize(query, "point", memory=memory.mean(), cost_model=cm)
+    a_res = optimize(query, "algorithm_a", memory=memory, cost_model=cm)
+    b_res = optimize(query, "algorithm_b", memory=memory, top_k=3, cost_model=cm)
+    c_res = optimize(query, "lec", memory=memory, cost_model=cm)
 
     plan_sm = mode_res.plan  # sort-merge (Plan 1)
     plan_lec = c_res.plan  # Grace hash + sort (Plan 2)

@@ -12,9 +12,9 @@ from typing import List
 
 import numpy as np
 
-from ..core import lsc_at_mean, optimize_algorithm_c
 from ..core.distributions import discretized_lognormal
 from ..costmodel import CostModel
+from ..optimizer.facade import optimize
 from ..workloads.queries import chain_query, star_query
 from .harness import ExperimentTable
 
@@ -50,8 +50,10 @@ def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
         differ = 0
         for q in queries:
             cm = CostModel()
-            lsc = lsc_at_mean(q, memory, cost_model=cm)
-            lec = optimize_algorithm_c(q, memory, cost_model=cm)
+            # Facade-cached context: across the CV sweep the same query
+            # is optimized once per CV, reusing sizes and point costs.
+            lsc = optimize(q, "point", memory=memory.mean(), cost_model=cm)
+            lec = optimize(q, "lec", memory=memory, cost_model=cm)
             e_lsc = cm.plan_expected_cost(lsc.plan, q, memory)
             e_lec = lec.objective
             ratios.append(e_lsc / e_lec)

@@ -19,14 +19,10 @@ from typing import List
 
 import numpy as np
 
-from ..core import (
-    lsc_at_mean,
-    optimize_algorithm_c,
-    optimize_algorithm_d,
-    plan_expected_cost_multiparam,
-)
+from ..core import plan_expected_cost_multiparam
 from ..core.distributions import DiscreteDistribution
 from ..costmodel import CostModel
+from ..optimizer.facade import last_context, optimize
 from ..workloads.queries import star_query, with_selectivity_uncertainty
 from .harness import ExperimentTable
 
@@ -56,15 +52,25 @@ def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
     )
     for err in errors:
         query = with_selectivity_uncertainty(base, err, n_buckets=5)
-        lsc = lsc_at_mean(query, memory, cost_model=CostModel())
-        algc = optimize_algorithm_c(query, memory, cost_model=CostModel())
-        algd = optimize_algorithm_d(
-            query, memory, cost_model=CostModel(), max_buckets=max_buckets, fast=True
+        cm = CostModel()
+        lsc = optimize(query, "point", memory=memory.mean(), cost_model=cm)
+        algc = optimize(query, "lec", memory=memory, cost_model=cm)
+        algd = optimize(
+            query,
+            "multiparam",
+            memory=memory,
+            cost_model=cm,
+            max_buckets=max_buckets,
+            fast=True,
         )
+        # Score arbitrary plans against Algorithm D's own context so the
+        # size distributions built during its DP are reused, not rebuilt.
+        context = last_context()
 
         def score(plan):
             return plan_expected_cost_multiparam(
-                plan, query, memory, max_buckets=max_buckets, fast=True
+                plan, query, memory, max_buckets=max_buckets, fast=True,
+                context=context,
             )
 
         e_lsc, e_c, e_d = score(lsc.plan), score(algc.plan), score(algd.plan)

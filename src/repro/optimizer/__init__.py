@@ -7,12 +7,14 @@ from .costers import (
     MultiParamCoster,
     PointCoster,
 )
+from .errors import OptimizerConfigError
 from .dependent import (
     BayesNetCoster,
     optimize_dependent,
     plan_expected_cost_dependent,
 )
 from .exhaustive import enumerate_left_deep_plans, exhaustive_best
+from .facade import clear_context_cache, last_context, optimize
 from .randomized import (
     RandomizedResult,
     iterative_improvement,
@@ -24,6 +26,10 @@ from .topk import MergeResult, TopKList, merge_top_combinations
 
 __all__ = [
     "SystemRDP",
+    "OptimizerConfigError",
+    "optimize",
+    "last_context",
+    "clear_context_cache",
     "DPEntry",
     "Coster",
     "PointCoster",

@@ -21,23 +21,33 @@ Every coster exposes the same five hooks (access, join step, intermediate
 write, final sort, result pages), all returning scalars in the coster's
 objective; because every objective is an expectation, DP additivity and
 hence optimality is preserved.
+
+Shared state lives in an :class:`~repro.core.context.OptimizationContext`
+attached at :meth:`Coster.bind` time: subset sizes and size
+distributions are memoized there instead of in per-coster private dicts,
+survival tables are fetched from the context, and every step cost is
+memoized under a key spanning the coster's full parameter identity —
+so a context threaded across several optimizer invocations (Algorithms
+A-D over one query, a parametric sweep, repeated facade calls) answers
+repeated expectations from cache.  A coster bound without an explicit
+context builds a private one, which reproduces the historical
+(per-invocation) behavior exactly.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
-from ..core.distributions import DiscreteDistribution, point_mass
+from ..core.context import OptimizationContext
+from ..core.distributions import DiscreteDistribution
 from ..core.expected_cost import (
     FAST_METHODS,
-    _SurvivalTable,
     expected_external_sort_cost,
     expected_join_cost_fast,
     expected_join_cost_naive,
 )
 from ..core.markov import MarkovParameter
-from ..costmodel.estimates import subset_size, subset_size_distribution
 from ..costmodel.model import CostModel
 from ..plans.nodes import Scan
 from ..plans.properties import JoinMethod
@@ -61,15 +71,38 @@ class Coster(abc.ABC):
     def __init__(self, cost_model: Optional[CostModel] = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.query: Optional[JoinQuery] = None
+        self.context: Optional[OptimizationContext] = None
 
-    def bind(self, query: JoinQuery) -> None:
-        """Attach the query and precompute anything reusable."""
+    def bind(
+        self, query: JoinQuery, context: Optional[OptimizationContext] = None
+    ) -> None:
+        """Attach the query and the shared context.
+
+        Without an explicit ``context`` a private one is created, so the
+        coster starts from a cold cache — the historical behavior.  A
+        supplied context must have been built for this exact query
+        (checked via its statistics fingerprint); a mismatch falls back
+        to a fresh context rather than serving stale sizes.
+        """
         self.query = query
+        if context is not None and context.matches(query):
+            self.context = context
+        else:
+            self.context = OptimizationContext(query, cost_model=self.cost_model)
 
     @property
     def methods(self):
         """Join methods available to the engine."""
         return self.cost_model.methods
+
+    def _memo_key(self) -> tuple:
+        """The coster-identity prefix for context step-cost keys.
+
+        Subclasses return a tuple covering every parameter that affects
+        their numeric output; two costers with equal prefixes must
+        produce identical costs for identical steps.
+        """
+        raise NotImplementedError
 
     # -- hooks ---------------------------------------------------------
 
@@ -121,8 +154,13 @@ class Coster(abc.ABC):
     # -- shared helpers --------------------------------------------------
 
     def _pages(self, rels: FrozenSet[str]) -> float:
-        assert self.query is not None
-        return subset_size(rels, self.query).pages
+        assert self.context is not None, "coster used before bind()"
+        return self.context.subset_pages(rels)
+
+    def _step(self, key: tuple, compute) -> float:
+        """Memoize one step cost in the bound context."""
+        assert self.context is not None, "coster used before bind()"
+        return self.context.step_cost(key, compute)
 
     def supports_bushy(self) -> bool:
         """Whether this objective is well-defined for bushy plans."""
@@ -142,24 +180,37 @@ class PointCoster(Coster):
             raise ValueError("memory must be positive")
         self.memory = float(memory)
 
+    def _memo_key(self) -> tuple:
+        return ("point", self.memory)
+
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        return self._join_formula(
-            method,
-            self._pages(left_rels),
-            self._pages(right_rels),
-            self.memory,
-            left_presorted,
-            right_presorted,
+        key = (
+            *self._memo_key(), "join",
+            method, left_rels, right_rels, left_presorted, right_presorted,
+        )
+        return self._step(
+            key,
+            lambda: self._join_formula(
+                method,
+                self._pages(left_rels),
+                self._pages(right_rels),
+                self.memory,
+                left_presorted,
+                right_presorted,
+            ),
         )
 
     def write_cost(self, rels):
         return self._pages(rels)
 
     def final_sort_cost(self, rels, phase):
-        return self.cost_model.sort_cost(self._pages(rels), self.memory)
+        key = (*self._memo_key(), "sort", rels)
+        return self._step(
+            key, lambda: self.cost_model.sort_cost(self._pages(rels), self.memory)
+        )
 
 
 class ExpectedCoster(Coster):
@@ -173,26 +224,42 @@ class ExpectedCoster(Coster):
         super().__init__(cost_model)
         self.memory = memory
 
+    def _memo_key(self) -> tuple:
+        return ("expected", self.memory)
+
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        lp = self._pages(left_rels)
-        rp = self._pages(right_rels)
-        return self.memory.expectation(
-            lambda m: self._join_formula(
-                method, lp, rp, m, left_presorted, right_presorted
-            )
+        key = (
+            *self._memo_key(), "join",
+            method, left_rels, right_rels, left_presorted, right_presorted,
         )
+
+        def compute() -> float:
+            lp = self._pages(left_rels)
+            rp = self._pages(right_rels)
+            return self.memory.expectation(
+                lambda m: self._join_formula(
+                    method, lp, rp, m, left_presorted, right_presorted
+                )
+            )
+
+        return self._step(key, compute)
 
     def write_cost(self, rels):
         return self._pages(rels)
 
     def final_sort_cost(self, rels, phase):
-        pages = self._pages(rels)
-        return self.memory.expectation(
-            lambda m: self.cost_model.sort_cost(pages, m)
-        )
+        key = (*self._memo_key(), "sort", rels)
+
+        def compute() -> float:
+            pages = self._pages(rels)
+            return self.memory.expectation(
+                lambda m: self.cost_model.sort_cost(pages, m)
+            )
+
+        return self._step(key, compute)
 
 
 class MarkovCoster(Coster):
@@ -216,28 +283,46 @@ class MarkovCoster(Coster):
             )
         self.chain = chain
 
+    def _memo_key(self) -> tuple:
+        # Chains hash by identity; the key keeps the chain object alive,
+        # so a context outliving the coster still resolves correctly.
+        return ("markov", self.chain)
+
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        lp = self._pages(left_rels)
-        rp = self._pages(right_rels)
-        marginal = self.chain.marginal(phase)
-        return marginal.expectation(
-            lambda m: self._join_formula(
-                method, lp, rp, m, left_presorted, right_presorted
-            )
+        key = (
+            *self._memo_key(), "join", phase,
+            method, left_rels, right_rels, left_presorted, right_presorted,
         )
+
+        def compute() -> float:
+            lp = self._pages(left_rels)
+            rp = self._pages(right_rels)
+            marginal = self.chain.marginal(phase)
+            return marginal.expectation(
+                lambda m: self._join_formula(
+                    method, lp, rp, m, left_presorted, right_presorted
+                )
+            )
+
+        return self._step(key, compute)
 
     def write_cost(self, rels):
         return self._pages(rels)
 
     def final_sort_cost(self, rels, phase):
-        pages = self._pages(rels)
-        marginal = self.chain.marginal(phase)
-        return marginal.expectation(
-            lambda m: self.cost_model.sort_cost(pages, m)
-        )
+        key = (*self._memo_key(), "sort", phase, rels)
+
+        def compute() -> float:
+            pages = self._pages(rels)
+            marginal = self.chain.marginal(phase)
+            return marginal.expectation(
+                lambda m: self.cost_model.sort_cost(pages, m)
+            )
+
+        return self._step(key, compute)
 
     def supports_bushy(self) -> bool:
         """Bushy trees have no canonical phase order; restrict to left-deep."""
@@ -250,7 +335,7 @@ class MultiParamCoster(Coster):
     Per dag node the paper carries exactly four distributions — memory,
     ``|B_j|``, ``|A_j|`` and the join selectivity.  Here the first three
     feed :meth:`join_step_cost` (a triple-bucket expectation) and the
-    fourth is folded into the cached subset size distributions.
+    fourth is folded into the context-cached subset size distributions.
 
     Parameters
     ----------
@@ -275,51 +360,64 @@ class MultiParamCoster(Coster):
         self.memory = memory
         self.max_buckets = max_buckets
         self.fast = fast
-        self._survival = _SurvivalTable(memory)
-        self._size_cache: Dict[FrozenSet[str], DiscreteDistribution] = {}
+        self._survival = None
 
-    def bind(self, query: JoinQuery) -> None:
-        super().bind(query)
-        self._size_cache.clear()
+    def bind(
+        self, query: JoinQuery, context: Optional[OptimizationContext] = None
+    ) -> None:
+        super().bind(query, context)
+        self._survival = self.context.survival_table(self.memory)
+
+    def _memo_key(self) -> tuple:
+        return ("multiparam", self.memory, self.max_buckets, self.fast)
 
     def size_distribution(self, rels: FrozenSet[str]) -> DiscreteDistribution:
-        """Cached page-count distribution of a relation subset."""
-        assert self.query is not None
-        rels = frozenset(rels)
-        if rels not in self._size_cache:
-            self._size_cache[rels] = subset_size_distribution(
-                rels, self.query, max_buckets=self.max_buckets
-            )
-        return self._size_cache[rels]
+        """Context-cached page-count distribution of a relation subset."""
+        assert self.context is not None, "coster used before bind()"
+        return self.context.size_distribution(rels, max_buckets=self.max_buckets)
 
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        ld = self.size_distribution(left_rels)
-        rd = self.size_distribution(right_rels)
-        presorted = left_presorted or right_presorted
-        if self.fast and method in FAST_METHODS and not presorted:
-            return expected_join_cost_fast(
-                method, ld, rd, self.memory, survival=self._survival
-            )
-        if not presorted:
-            return expected_join_cost_naive(
-                self.cost_model.join_cost, method, ld, rd, self.memory
-            )
-        # Order-aware sort-merge: no linear-time path; triple loop with
-        # the presorted formula.
-        def fn(_method, l, r, m):
-            return self._join_formula(
-                _method, l, r, m, left_presorted, right_presorted
-            )
+        key = (
+            *self._memo_key(), "join",
+            method, frozenset(left_rels), frozenset(right_rels),
+            left_presorted, right_presorted,
+        )
 
-        return expected_join_cost_naive(fn, method, ld, rd, self.memory)
+        def compute() -> float:
+            ld = self.size_distribution(left_rels)
+            rd = self.size_distribution(right_rels)
+            presorted = left_presorted or right_presorted
+            if self.fast and method in FAST_METHODS and not presorted:
+                return expected_join_cost_fast(
+                    method, ld, rd, self.memory, survival=self._survival
+                )
+            if not presorted:
+                return expected_join_cost_naive(
+                    self.cost_model.join_cost, method, ld, rd, self.memory
+                )
+            # Order-aware sort-merge: no linear-time path; triple loop
+            # with the presorted formula.
+            def fn(_method, l, r, m):
+                return self._join_formula(
+                    _method, l, r, m, left_presorted, right_presorted
+                )
+
+            return expected_join_cost_naive(fn, method, ld, rd, self.memory)
+
+        return self._step(key, compute)
 
     def write_cost(self, rels):
-        return self.size_distribution(rels).mean()
+        key = (*self._memo_key(), "write", frozenset(rels))
+        return self._step(key, lambda: self.size_distribution(rels).mean())
 
     def final_sort_cost(self, rels, phase):
-        return expected_external_sort_cost(
-            self.size_distribution(rels), self.memory, self.cost_model.sort_cost
+        key = (*self._memo_key(), "sort", frozenset(rels))
+        return self._step(
+            key,
+            lambda: expected_external_sort_cost(
+                self.size_distribution(rels), self.memory, self.cost_model.sort_cost
+            ),
         )

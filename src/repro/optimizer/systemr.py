@@ -29,10 +29,12 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..core.context import OptimizationContext
 from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
 from ..plans.properties import JoinMethod, order_from_join
 from ..plans.query import JoinQuery, QueryError
 from .costers import Coster
+from .errors import OptimizerConfigError
 from .result import OptimizationResult, OptimizerStats, PlanChoice
 from .topk import TopKList, merge_top_combinations
 
@@ -67,6 +69,12 @@ class SystemRDP:
     top_k:
         Plans retained per (subset, order); ``> 1`` enables Algorithm B's
         candidate generation.
+    context:
+        Optional shared :class:`~repro.core.context.OptimizationContext`.
+        When given (and matching the optimized query's statistics) the
+        coster draws memoized sizes, distributions and step costs from
+        it; otherwise a fresh context is created per :meth:`optimize`
+        call.
     """
 
     def __init__(
@@ -75,19 +83,21 @@ class SystemRDP:
         plan_space: str = "left-deep",
         allow_cross_products: bool = False,
         top_k: int = 1,
+        context: Optional[OptimizationContext] = None,
     ):
         if plan_space not in ("left-deep", "bushy"):
-            raise ValueError(f"unknown plan space {plan_space!r}")
+            raise OptimizerConfigError(f"unknown plan space {plan_space!r}")
         if plan_space == "bushy" and not coster.supports_bushy():
-            raise ValueError(
+            raise OptimizerConfigError(
                 f"{type(coster).__name__} does not support bushy plans"
             )
         if top_k < 1:
-            raise ValueError("top_k must be >= 1")
+            raise OptimizerConfigError("top_k must be >= 1")
         self.coster = coster
         self.plan_space = plan_space
         self.allow_cross_products = allow_cross_products
         self.top_k = top_k
+        self.context = context
 
     # ------------------------------------------------------------------
 
@@ -97,7 +107,10 @@ class SystemRDP:
         With ``top_k > 1`` the result's ``candidates`` list holds the top
         ``k`` complete plans (best first); otherwise just the winner.
         """
-        self.coster.bind(query)
+        # bind() falls back to a fresh private context when the shared one
+        # was built for different statistics — stale reuse is structurally
+        # impossible, not merely discouraged.
+        self.coster.bind(query, self.context)
         stats = OptimizerStats()
         evals_before = self.coster.cost_model.eval_count
 

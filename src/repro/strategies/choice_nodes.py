@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..core.context import OptimizationContext
 from ..core.distributions import DiscreteDistribution
 from ..costmodel.model import CostModel
 from ..optimizer.result import OptimizerStats
@@ -94,6 +95,7 @@ def build_choice_plan(
     memory_hi: float,
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
+    context: Optional[OptimizationContext] = None,
 ) -> ChoicePlan:
     """Compile a choice plan covering ``[memory_lo, memory_hi]``.
 
@@ -106,6 +108,7 @@ def build_choice_plan(
         memory_hi,
         cost_model=cost_model,
         plan_space=plan_space,
+        context=context,
     )
     thresholds = [r.lo for r in pset.regions[1:]]
     alternatives = [r.plan for r in pset.regions]

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.bucketing import collect_memory_breakpoints
+from ..core.context import OptimizationContext
 from ..core.distributions import DiscreteDistribution
 from ..core.lsc import optimize_lsc
 from ..core.algorithm_c import optimize_algorithm_c
@@ -116,17 +117,22 @@ def parametric_optimize(
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    context: Optional[OptimizationContext] = None,
 ) -> ParametricPlanSet:
     """Optimize for every memory value in ``[memory_lo, memory_hi]``.
 
     The interval is cut at every cost-formula breakpoint the optimizer
     could encounter; within each cell all candidate costs are constant,
     so one LSC invocation at the cell midpoint is exact for the whole
-    cell.  Adjacent cells electing the same plan are merged.
+    cell.  Adjacent cells electing the same plan are merged.  The
+    (shared) ``context`` makes the per-cell invocations reuse subset
+    sizes rather than recomputing them once per region.
     """
     if not 0 < memory_lo <= memory_hi:
         raise ValueError("need 0 < memory_lo <= memory_hi")
     cm = cost_model if cost_model is not None else CostModel()
+    if context is None:
+        context = OptimizationContext(query, cost_model=cm)
     cuts = [
         b
         for b in collect_memory_breakpoints(
@@ -146,6 +152,7 @@ def parametric_optimize(
             cost_model=cm,
             plan_space=plan_space,
             allow_cross_products=allow_cross_products,
+            context=context,
         )
         stats = stats.merged_with(result.stats)
         raw.append(
@@ -171,6 +178,7 @@ def precompute_lec_plans(
     query: JoinQuery,
     candidate_distributions: Sequence[DiscreteDistribution],
     cost_model: Optional[CostModel] = None,
+    context: Optional[OptimizationContext] = None,
 ) -> List[Tuple[DiscreteDistribution, Plan, float]]:
     """The paper's LEC-parametric hybrid.
 
@@ -181,8 +189,10 @@ def precompute_lec_plans(
     expected_cost)`` triples.
     """
     cm = cost_model if cost_model is not None else CostModel()
+    if context is None:
+        context = OptimizationContext(query, cost_model=cm)
     out: List[Tuple[DiscreteDistribution, Plan, float]] = []
     for dist in candidate_distributions:
-        res = optimize_algorithm_c(query, dist, cost_model=cm)
+        res = optimize_algorithm_c(query, dist, cost_model=cm, context=context)
         out.append((dist, res.plan, res.objective))
     return out

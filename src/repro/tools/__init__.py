@@ -5,7 +5,12 @@ from .plan_diagram import (
     memory_plan_diagram,
     memory_selectivity_diagram,
 )
-from .explain import NodeCostLine, explain_costs, render_explanation
+from .explain import (
+    NodeCostLine,
+    explain_costs,
+    explain_query,
+    render_explanation,
+)
 from .serialize import SerializationError, dumps, loads
 
 __all__ = [
@@ -17,5 +22,6 @@ __all__ = [
     "loads",
     "NodeCostLine",
     "explain_costs",
+    "explain_query",
     "render_explanation",
 ]

@@ -10,15 +10,23 @@ one node whose cost distribution has a fat tail).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
+from ..core.context import OptimizationContext
 from ..core.distributions import DiscreteDistribution, point_mass
 from ..costmodel.estimates import node_size
 from ..costmodel.model import CostModel
+from ..optimizer.facade import last_context, optimize
+from ..optimizer.result import OptimizationResult
 from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
 from ..plans.query import JoinQuery
 
-__all__ = ["NodeCostLine", "explain_costs", "render_explanation"]
+__all__ = [
+    "NodeCostLine",
+    "explain_costs",
+    "explain_query",
+    "render_explanation",
+]
 
 
 @dataclass
@@ -39,10 +47,18 @@ def explain_costs(
     query: JoinQuery,
     memory: Union[float, DiscreteDistribution],
     cost_model: Optional[CostModel] = None,
+    context: Optional[OptimizationContext] = None,
 ) -> List[NodeCostLine]:
-    """Per-node expected/worst costs; lines in top-down plan order."""
+    """Per-node expected/worst costs; lines in top-down plan order.
+
+    A shared ``context`` (e.g. the one the optimizer just used — see
+    :func:`explain_query`) serves node sizes from its memo instead of
+    re-estimating them.
+    """
     cm = cost_model if cost_model is not None else CostModel(count_evaluations=False)
     dist = point_mass(float(memory)) if isinstance(memory, (int, float)) else memory
+    if context is not None and not context.matches(query):
+        context = None
 
     lines: List[NodeCostLine] = []
 
@@ -54,7 +70,10 @@ def explain_costs(
         expected = sum(
             p * c for (_, p), c in zip(dist.items(), per_value)
         )
-        est = node_size(node, query)
+        if context is not None:
+            est = context.subset_size(node.relations())
+        else:
+            est = node_size(node, query)
         if isinstance(node, Scan):
             label = f"Scan({node.signature()})"
         elif isinstance(node, Sort):
@@ -81,6 +100,40 @@ def explain_costs(
     for line in lines:
         line.share = line.expected_cost / total if total > 0 else 0.0
     return lines
+
+
+def explain_query(
+    query: JoinQuery,
+    objective: str = "lec",
+    *,
+    memory: Union[float, DiscreteDistribution, None] = None,
+    cost_model: Optional[CostModel] = None,
+    **optimize_kwargs,
+) -> Tuple[OptimizationResult, List[NodeCostLine]]:
+    """Optimize through :func:`repro.optimize` and explain the winner.
+
+    One-stop EXPLAIN: returns the optimization result plus the per-node
+    cost attribution of the chosen plan.  The explanation reuses the
+    optimizer's own context, so size estimates come straight from the DP's
+    memo.  Extra keyword arguments are forwarded to the facade
+    (``plan_space``, ``top_k``, ``max_buckets``, ...).
+    """
+    result = optimize(
+        query, objective, memory=memory, cost_model=cost_model, **optimize_kwargs
+    )
+    dist = (
+        point_mass(float(memory))
+        if isinstance(memory, (int, float))
+        else memory
+    )
+    lines = explain_costs(
+        result.plan,
+        query,
+        dist,
+        cost_model=cost_model,
+        context=last_context(),
+    )
+    return result, lines
 
 
 def render_explanation(lines: List[NodeCostLine]) -> str:

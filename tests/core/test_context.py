@@ -1,0 +1,230 @@
+"""OptimizationContext: memoization layers, fingerprints, staleness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import CacheStats, OptimizationContext, query_fingerprint
+from repro.core.distributions import DiscreteDistribution, two_point
+from repro.core.expected_cost import expected_sort_merge_cost
+from repro.core.lsc import optimize_lsc
+from repro.costmodel.estimates import subset_size, subset_size_distribution
+from repro.plans.query import JoinPredicate, JoinQuery, RelationSpec
+
+
+def _copy_query(query: JoinQuery) -> JoinQuery:
+    """A structurally identical but distinct JoinQuery object."""
+    return JoinQuery(
+        relations=list(query.relations),
+        predicates=list(query.predicates),
+        required_order=query.required_order,
+        rows_per_page=query.rows_per_page,
+    )
+
+
+class TestFingerprint:
+    def test_equal_for_equal_statistics(self, three_way_query):
+        assert query_fingerprint(three_way_query) == query_fingerprint(
+            _copy_query(three_way_query)
+        )
+
+    def test_changes_with_any_statistic(self, three_way_query):
+        base = query_fingerprint(three_way_query)
+        bigger = JoinQuery(
+            relations=[
+                RelationSpec(name="R", pages=60_000.0),
+                *three_way_query.relations[1:],
+            ],
+            predicates=list(three_way_query.predicates),
+            rows_per_page=three_way_query.rows_per_page,
+        )
+        assert query_fingerprint(bigger) != base
+        resel = JoinQuery(
+            relations=list(three_way_query.relations),
+            predicates=[
+                JoinPredicate(left="R", right="S", selectivity=3e-8, label="R=S"),
+                three_way_query.predicates[1],
+            ],
+            rows_per_page=three_way_query.rows_per_page,
+        )
+        assert query_fingerprint(resel) != base
+
+    def test_is_hashable(self, three_way_query):
+        hash(query_fingerprint(three_way_query))
+
+
+class TestMatches:
+    def test_identity_and_value_equality(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        assert ctx.matches(three_way_query)
+        assert ctx.matches(_copy_query(three_way_query))
+
+    def test_rejects_mutated_statistics(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        mutated = JoinQuery(
+            relations=[
+                RelationSpec(name="R", pages=50_001.0),
+                *three_way_query.relations[1:],
+            ],
+            predicates=list(three_way_query.predicates),
+            rows_per_page=three_way_query.rows_per_page,
+        )
+        assert not ctx.matches(mutated)
+
+
+class TestSizeCaches:
+    def test_subset_size_matches_plain_and_hits(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        rels = frozenset({"R", "S"})
+        est = ctx.subset_size(rels)
+        assert est == subset_size(rels, three_way_query)
+        again = ctx.subset_size(rels)
+        assert again is est
+        assert ctx.stats()["subset_sizes"]["hits"] == 1
+        assert ctx.stats()["subset_sizes"]["misses"] == 1
+
+    def test_subset_pages(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        rels = frozenset({"S", "T"})
+        assert ctx.subset_pages(rels) == subset_size(rels, three_way_query).pages
+
+    def test_size_distribution_matches_plain(self):
+        query = JoinQuery(
+            relations=[
+                RelationSpec(
+                    name="A",
+                    pages=1000.0,
+                    pages_dist=two_point(1500.0, 0.5, 500.0),
+                ),
+                RelationSpec(name="B", pages=300.0),
+            ],
+            predicates=[
+                JoinPredicate(left="A", right="B", selectivity=1e-4, label="A=B")
+            ],
+        )
+        ctx = OptimizationContext(query)
+        rels = frozenset({"A", "B"})
+        via_ctx = ctx.size_distribution(rels, max_buckets=8)
+        plain = subset_size_distribution(rels, query, max_buckets=8)
+        assert via_ctx == plain
+        assert ctx.size_distribution(rels, max_buckets=8) is via_ctx
+        assert ctx.stats()["size_distributions"]["hits"] == 1
+
+
+class TestDistributionOpCache:
+    def test_value_keyed_product(self):
+        query = JoinQuery(
+            relations=[RelationSpec(name="A", pages=10.0)],
+            predicates=[],
+        )
+        ctx = OptimizationContext(query)
+        a1 = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        a2 = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])  # equal, distinct object
+        b = DiscreteDistribution([10.0, 20.0], [0.3, 0.7])
+        first = ctx.product(a1, b)
+        second = ctx.product(a2, b)
+        assert second is first
+        assert ctx.stats()["dist_ops"]["hits"] == 1
+
+    def test_convolve_and_rebucket(self):
+        query = JoinQuery(relations=[RelationSpec(name="A", pages=10.0)], predicates=[])
+        ctx = OptimizationContext(query)
+        a = DiscreteDistribution([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        b = DiscreteDistribution([5.0, 7.0], [0.4, 0.6])
+        conv = ctx.convolve(a, b)
+        assert conv.mean() == pytest.approx(a.mean() + b.mean())
+        wide = DiscreteDistribution(
+            np.arange(1.0, 21.0), np.full(20, 0.05)
+        )
+        small = ctx.rebucket(wide, 4)
+        assert small.n_buckets <= 4
+        assert small.mean() == pytest.approx(wide.mean())
+        # Already-small distributions pass through without a cache entry.
+        assert ctx.rebucket(a, 8) is a
+
+
+class TestSurvivalTable:
+    def test_shared_across_lookups(self, three_way_query, bimodal_memory):
+        ctx = OptimizationContext(three_way_query)
+        t1 = ctx.survival_table(bimodal_memory)
+        t2 = ctx.survival_table(bimodal_memory)
+        assert t2 is t1
+        assert ctx.stats()["survival_tables"]["hits"] == 1
+
+    def test_produces_correct_expectations(self, three_way_query, bimodal_memory):
+        ctx = OptimizationContext(three_way_query)
+        table = ctx.survival_table(bimodal_memory)
+        left = two_point(1200.0, 0.5, 800.0)
+        right = two_point(600.0, 0.5, 400.0)
+        fast = expected_sort_merge_cost(left, right, bimodal_memory, survival=table)
+        naive = expected_sort_merge_cost(left, right, bimodal_memory)
+        assert fast == pytest.approx(naive)
+
+
+class TestStepCostMemo:
+    def test_compute_once(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42.0
+
+        assert ctx.step_cost(("k", 1), compute) == 42.0
+        assert ctx.step_cost(("k", 1), compute) == 42.0
+        assert len(calls) == 1
+        assert ctx.stats()["step_costs"]["hits"] == 1
+
+
+class TestObservability:
+    def test_cache_stats_math(self):
+        cs = CacheStats(hits=3, misses=1)
+        assert cs.lookups == 4
+        assert cs.hit_rate == pytest.approx(0.75)
+        assert CacheStats().hit_rate == 0.0
+        assert cs.as_dict() == {"hits": 3, "misses": 1, "hit_rate": 0.75}
+
+    def test_total_hits_and_clear(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        rels = frozenset({"R", "S"})
+        ctx.subset_size(rels)
+        ctx.subset_size(rels)
+        assert ctx.total_hits() == 1
+        ctx.clear()
+        assert ctx.total_hits() == 0
+        assert ctx.stats()["subset_sizes"]["misses"] == 0
+
+    def test_repr_mentions_entries(self, three_way_query):
+        ctx = OptimizationContext(three_way_query)
+        ctx.subset_size(frozenset({"R"}))
+        assert "entries=" in repr(ctx)
+
+
+class TestThreadedOptimization:
+    def test_shared_context_gives_identical_results(self, three_way_query, cost_model):
+        baseline = optimize_lsc(three_way_query, 1200.0, cost_model=cost_model)
+        ctx = OptimizationContext(three_way_query, cost_model=cost_model)
+        warm1 = optimize_lsc(three_way_query, 1200.0, cost_model=cost_model, context=ctx)
+        warm2 = optimize_lsc(three_way_query, 1200.0, cost_model=cost_model, context=ctx)
+        for res in (warm1, warm2):
+            assert res.plan.signature() == baseline.plan.signature()
+            assert res.objective == pytest.approx(baseline.objective, abs=1e-9)
+        assert ctx.total_hits() > 0
+
+    def test_stale_context_falls_back(self, three_way_query, cost_model):
+        other = JoinQuery(
+            relations=[
+                RelationSpec(name="R", pages=99_999.0),
+                *three_way_query.relations[1:],
+            ],
+            predicates=list(three_way_query.predicates),
+            rows_per_page=three_way_query.rows_per_page,
+        )
+        stale = OptimizationContext(other, cost_model=cost_model)
+        res = optimize_lsc(three_way_query, 1200.0, cost_model=cost_model, context=stale)
+        clean = optimize_lsc(three_way_query, 1200.0, cost_model=cost_model)
+        assert res.plan.signature() == clean.plan.signature()
+        assert res.objective == pytest.approx(clean.objective, abs=1e-9)
+        # The stale context must not have absorbed the other query's work.
+        assert stale.total_hits() == 0
