@@ -78,6 +78,13 @@ from .plans import (
     RelationSpec,
     left_deep_plan,
 )
+from .serving import (
+    MetricsRegistry,
+    OptimizeRequest,
+    OptimizerService,
+    PlanCache,
+    ServingResult,
+)
 
 __version__ = "1.0.0"
 
@@ -128,4 +135,9 @@ __all__ = [
     "ExponentialUtility",
     "QuantileCost",
     "WorstCase",
+    "OptimizerService",
+    "OptimizeRequest",
+    "ServingResult",
+    "PlanCache",
+    "MetricsRegistry",
 ]

@@ -61,6 +61,18 @@ class SelectivityFeedback:
         self.min_observations = min_observations
         self.prior_relative_error = prior_relative_error
         self._history: Dict[str, List[float]] = defaultdict(list)
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Versioning (cache-invalidation hook)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing counter, bumped whenever new
+        observations land — the serving layer's plan cache keys on it so
+        plans optimized before feedback arrived are never served after."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Recording
@@ -77,6 +89,8 @@ class SelectivityFeedback:
                 sel = 1e-12
             self._history[obs.predicate_label].append(float(min(1.0, sel)))
             count += 1
+        if count:
+            self._version += 1
         return count
 
     def n_observations(self, label: str) -> int:

@@ -72,10 +72,19 @@ def default_join_selectivity(
 
 
 class StatisticsCatalog:
-    """Statistics for every table in a :class:`~repro.catalog.schema.Catalog`."""
+    """Statistics for every table in a :class:`~repro.catalog.schema.Catalog`.
+
+    The catalog carries a monotonically increasing :attr:`version`,
+    bumped by every mutation (``analyze_column``,
+    ``set_size_distribution``, or an explicit :meth:`bump_version` after
+    out-of-band edits to a :class:`TableStats`).  The serving layer's
+    plan cache embeds this version in its keys, so a plan optimized
+    against stale statistics can never be served after an ANALYZE.
+    """
 
     def __init__(self, schema: Catalog):
         self.schema = schema
+        self._version = 0
         self._stats: Dict[str, TableStats] = {}
         for table in schema:
             self._stats[table.name] = TableStats(
@@ -87,6 +96,20 @@ class StatisticsCatalog:
                     if c.n_distinct is not None
                 },
             )
+
+    # ------------------------------------------------------------------
+    # Versioning (cache-invalidation hook)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Record an out-of-band statistics mutation; returns the new version."""
+        self._version += 1
+        return self._version
 
     # ------------------------------------------------------------------
     # Maintenance (the ANALYZE path)
@@ -106,6 +129,7 @@ class StatisticsCatalog:
         hist = EquiDepthHistogram.build(values, n_buckets=n_buckets)
         stats.histograms[column] = hist
         stats.n_distinct[column] = hist.n_distinct()
+        self._version += 1
         return hist
 
     def set_size_distribution(
@@ -113,6 +137,7 @@ class StatisticsCatalog:
     ) -> None:
         """Attach an uncertain page-count distribution to a table."""
         self.table_stats(table).size_distribution = dist
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Lookups

@@ -39,6 +39,7 @@ objective                 memory argument
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from numbers import Real
 from typing import Optional, Tuple, Union
@@ -73,9 +74,12 @@ _OBJECTIVES = {
 # LRU of contexts keyed by (query fingerprint, cost-model configuration).
 # Small on purpose: a context holds every memoized distribution for its
 # query, and the working set of distinct (query, model) pairs in one
-# process is tiny.
+# process is tiny.  The lock makes get/insert/evict safe under the
+# serving layer's thread pool — OrderedDict.move_to_end/popitem are not
+# atomic, so unguarded concurrent optimize() calls could corrupt the LRU.
 _CONTEXT_CACHE_CAP = 8
 _context_cache: "OrderedDict[Tuple, OptimizationContext]" = OrderedDict()
+_context_cache_lock = threading.Lock()
 _last_context: Optional[OptimizationContext] = None
 
 
@@ -88,18 +92,20 @@ def _context_for(query: JoinQuery, cm: CostModel) -> OptimizationContext:
 
     The key embeds every statistic the optimizer reads, so a query built
     from mutated catalog statistics maps to a different slot — the old
-    context simply ages out of the LRU.
+    context simply ages out of the LRU.  Thread-safe: two concurrent
+    callers with the same key receive the same context object.
     """
     key = (query_fingerprint(query), _model_key(cm))
-    ctx = _context_cache.get(key)
-    if ctx is not None:
-        _context_cache.move_to_end(key)
+    with _context_cache_lock:
+        ctx = _context_cache.get(key)
+        if ctx is not None:
+            _context_cache.move_to_end(key)
+            return ctx
+        ctx = OptimizationContext(query, cost_model=cm)
+        _context_cache[key] = ctx
+        while len(_context_cache) > _CONTEXT_CACHE_CAP:
+            _context_cache.popitem(last=False)
         return ctx
-    ctx = OptimizationContext(query, cost_model=cm)
-    _context_cache[key] = ctx
-    while len(_context_cache) > _CONTEXT_CACHE_CAP:
-        _context_cache.popitem(last=False)
-    return ctx
 
 
 def last_context() -> Optional[OptimizationContext]:
@@ -114,8 +120,9 @@ def last_context() -> Optional[OptimizationContext]:
 def clear_context_cache() -> None:
     """Drop every cached context (e.g. between unrelated workloads)."""
     global _last_context
-    _context_cache.clear()
-    _last_context = None
+    with _context_cache_lock:
+        _context_cache.clear()
+        _last_context = None
 
 
 def _require_distribution(memory, objective: str) -> DiscreteDistribution:

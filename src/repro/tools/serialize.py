@@ -122,6 +122,8 @@ def plan_from_dict(doc: Dict[str, Any]) -> Plan:
         return Plan(_node_from_dict(doc["root"]))
     except KeyError as exc:
         raise SerializationError(f"plan document missing field {exc}") from None
+    except TypeError as exc:
+        raise SerializationError(f"malformed plan document: {exc}") from None
 
 
 # ----------------------------------------------------------------------
@@ -145,7 +147,7 @@ def distribution_from_dict(doc: Dict[str, Any]) -> DiscreteDistribution:
         raise SerializationError("not a distribution document")
     try:
         return DiscreteDistribution(doc["values"], doc["probs"])
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"bad distribution document: {exc}") from None
 
 
@@ -173,7 +175,7 @@ def choice_plan_from_dict(doc: Dict[str, Any]) -> ChoicePlan:
             thresholds=[float(t) for t in doc["thresholds"]],
             alternatives=[Plan(_node_from_dict(d)) for d in doc["alternatives"]],
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"bad choice plan document: {exc}") from None
 
 
@@ -250,6 +252,8 @@ def loads(text: str):
         raise SerializationError(f"invalid JSON: {exc}") from None
     if not isinstance(doc, dict) or "kind" not in doc:
         raise SerializationError("document has no 'kind' tag")
+    if not isinstance(doc["kind"], str):
+        raise SerializationError(f"'kind' must be a string, got {doc['kind']!r}")
     decoder = _DECODERS.get(doc["kind"])
     if decoder is None:
         raise SerializationError(f"unknown document kind {doc['kind']!r}")

@@ -365,3 +365,112 @@ class TestPackageSurface:
             "OptimizerConfigError",
         ):
             assert name in repro.__all__
+
+
+class TestContextCacheThreadSafety:
+    """The facade's context LRU must survive concurrent optimize() calls.
+
+    OrderedDict get/move_to_end/popitem are not atomic; before the lock
+    was added, the serving layer's thread pool could corrupt the LRU or
+    crash mid-eviction.  This hammers the cache with more distinct
+    (query, model) keys than its capacity, from many threads, and checks
+    both survival and answer parity with a single-threaded run.
+    """
+
+    def _queries(self, n=12):
+        rng = np.random.default_rng(7)
+        return [
+            star_query(3, rng, min_pages=500, max_pages=50000) for _ in range(n)
+        ]
+
+    def test_concurrent_optimize_is_safe_and_correct(self, small_memory_dist):
+        import threading
+
+        queries = self._queries()
+        expected = {
+            i: optimize(q, "lec", memory=small_memory_dist)
+            for i, q in enumerate(queries)
+        }
+        clear_context_cache()
+
+        errors = []
+        mismatches = []
+
+        def worker(tid: int):
+            try:
+                for i in range(30):
+                    qi = (tid + i) % len(queries)
+                    result = optimize(
+                        queries[qi], "lec", memory=small_memory_dist
+                    )
+                    if (
+                        result.plan != expected[qi].plan
+                        or abs(result.objective - expected[qi].objective) > 1e-9
+                    ):
+                        mismatches.append(qi)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not mismatches
+
+    def test_concurrent_callers_share_one_context(self, four_way_query,
+                                                  small_memory_dist):
+        import threading
+
+        clear_context_cache()
+        contexts = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            optimize(four_way_query, "lec", memory=small_memory_dist)
+            contexts.append(last_context())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in contexts}) == 1
+
+    def test_clear_during_concurrent_optimizes(self, small_memory_dist):
+        import threading
+
+        queries = self._queries(6)
+        errors = []
+        stop = threading.Event()
+
+        def optimizer(tid: int):
+            try:
+                for i in range(20):
+                    optimize(
+                        queries[(tid + i) % len(queries)],
+                        "lec",
+                        memory=small_memory_dist,
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def clearer():
+            while not stop.is_set():
+                clear_context_cache()
+
+        workers = [threading.Thread(target=optimizer, args=(t,)) for t in range(4)]
+        cl = threading.Thread(target=clearer)
+        cl.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        cl.join()
+        assert not errors

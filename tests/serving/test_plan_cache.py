@@ -1,0 +1,146 @@
+"""Tests for the thread-safe serialized plan cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.distributions import two_point
+from repro.core.markov import MarkovParameter
+from repro.plans.nodes import Join, Plan, Scan
+from repro.plans.properties import JoinMethod
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.plan_cache import PlanCache, PlanCacheKey, memory_key
+
+
+def _plan(left="R", right="S") -> Plan:
+    return Plan(Join(Scan(left), Scan(right), JoinMethod.SORT_MERGE, f"{left}={right}"))
+
+
+def _key(fp="fp", objective="expected", version=(0,)) -> PlanCacheKey:
+    return PlanCacheKey(
+        fingerprint=fp,
+        objective=objective,
+        model_key=("m",),
+        memory=("scalar", 500.0),
+        knobs=("left-deep", False, 1, 16, False, True),
+        catalog_version=version,
+    )
+
+
+class TestMemoryKey:
+    def test_scalar(self):
+        assert memory_key(500) == ("scalar", 500.0)
+        assert memory_key(500.0) == memory_key(500)
+
+    def test_distribution_keys_by_value(self):
+        a = two_point(2000.0, 0.8, 700.0)
+        b = two_point(2000.0, 0.8, 700.0)
+        assert memory_key(a) == memory_key(b)
+        assert hash(memory_key(a)) == hash(memory_key(b))
+
+    def test_markov_full_content(self):
+        chain = MarkovParameter([500.0, 2000.0], [0.5, 0.5], [[0.9, 0.1], [0.2, 0.8]])
+        same = MarkovParameter([500.0, 2000.0], [0.5, 0.5], [[0.9, 0.1], [0.2, 0.8]])
+        other = MarkovParameter([500.0, 2000.0], [0.5, 0.5], [[0.8, 0.2], [0.2, 0.8]])
+        assert memory_key(chain) == memory_key(same)
+        assert memory_key(chain) != memory_key(other)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            memory_key("lots")
+
+
+class TestPlanCache:
+    def test_miss_then_hit_roundtrips_plan(self):
+        cache = PlanCache()
+        key = _key()
+        assert cache.get(key) is None
+        plan = _plan()
+        cache.put(key, plan, 123.5, rung="full")
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.plan == plan
+        assert hit.plan is not plan  # fresh object per hit
+        assert hit.objective_value == 123.5
+        assert hit.rung == "full"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hit_rate"] == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        k1, k2, k3 = _key("a"), _key("b"), _key("c")
+        cache.put(k1, _plan(), 1.0)
+        cache.put(k2, _plan(), 2.0)
+        cache.get(k1)  # touch k1 so k2 is the LRU victim
+        cache.put(k3, _plan(), 3.0)
+        assert cache.get(k1) is not None
+        assert cache.get(k2) is None
+        assert cache.get(k3) is not None
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_invalidate_all_and_predicate(self):
+        cache = PlanCache()
+        cache.put(_key("a"), _plan(), 1.0)
+        cache.put(_key("b"), _plan(), 2.0)
+        assert cache.invalidate(lambda k: k.fingerprint == "a") == 1
+        assert cache.get(_key("a")) is None
+        assert cache.get(_key("b")) is not None
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 2
+
+    def test_invalidate_stale_by_catalog_version(self):
+        cache = PlanCache()
+        cache.put(_key("a", version=(0,)), _plan(), 1.0)
+        cache.put(_key("b", version=(1,)), _plan(), 2.0)
+        removed = cache.invalidate_stale((1,))
+        assert removed == 1
+        assert cache.get(_key("b", version=(1,))) is not None
+        assert len(cache) == 1
+
+    def test_metrics_mirroring(self):
+        reg = MetricsRegistry()
+        cache = PlanCache(max_entries=1, metrics=reg)
+        cache.get(_key("a"))
+        cache.put(_key("a"), _plan(), 1.0)
+        cache.get(_key("a"))
+        cache.put(_key("b"), _plan(), 2.0)  # evicts a
+        cache.invalidate()
+        counters = reg.snapshot()["counters"]
+        assert counters["plan_cache.misses"] == 1
+        assert counters["plan_cache.hits"] == 1
+        assert counters["plan_cache.evictions"] == 1
+        assert counters["plan_cache.invalidations"] == 1
+        assert reg.snapshot()["derived"]["plan_cache.hit_rate"] == pytest.approx(0.5)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        cache = PlanCache(max_entries=16)
+        plan = _plan()
+        errors = []
+
+        def worker(tid: int):
+            try:
+                for i in range(200):
+                    key = _key(f"fp{(tid + i) % 24}")
+                    if cache.get(key) is None:
+                        cache.put(key, plan, float(i))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200
+        assert len(cache) <= 16

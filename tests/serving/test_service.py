@@ -1,0 +1,276 @@
+"""Tests for OptimizerService: parity, caching, deadlines, concurrency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import optimize
+from repro.core.distributions import DiscreteDistribution
+from repro.core.markov import MarkovParameter
+from repro.optimizer.errors import OptimizerConfigError
+from repro.serving.service import (
+    RUNG_COARSE,
+    RUNG_FULL,
+    RUNG_LSC,
+    LatencyEstimator,
+    OptimizeRequest,
+    OptimizerService,
+)
+from repro.workloads.queries import with_selectivity_uncertainty
+
+
+@pytest.fixture
+def uncertain_query(three_way_query):
+    """The 3-chain with selectivity distributions (for multiparam)."""
+    return with_selectivity_uncertainty(three_way_query, 1.0, n_buckets=3)
+
+
+@pytest.fixture
+def service():
+    with OptimizerService(max_workers=2) as svc:
+        yield svc
+
+
+class TestLatencyEstimator:
+    def test_first_observation_is_the_estimate(self):
+        est = LatencyEstimator()
+        assert est.estimate("full", "expected", 3) is None
+        est.record("full", "expected", 3, 0.5)
+        assert est.estimate("full", "expected", 3) == pytest.approx(0.5)
+
+    def test_ewma_moves_toward_new_observations(self):
+        est = LatencyEstimator(alpha=0.5)
+        est.record("full", "expected", 3, 1.0)
+        est.record("full", "expected", 3, 0.0)
+        assert est.estimate("full", "expected", 3) == pytest.approx(0.5)
+
+    def test_unknown_rung_inherits_discounted_estimate(self):
+        est = LatencyEstimator(inherit_discount=4.0)
+        est.record("full", "expected", 3, 8.0)
+        ladder = est.ladder_estimates(("full", "coarse", "lsc"), "expected", 3)
+        assert ladder[0] == pytest.approx(8.0)
+        assert ladder[1] == pytest.approx(2.0)  # inherited, discounted
+        assert ladder[2] == pytest.approx(0.5)
+
+    def test_cold_start_has_no_estimates(self):
+        est = LatencyEstimator()
+        assert est.ladder_estimates(("full", "lsc"), "point", 2) == [None, None]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LatencyEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            LatencyEstimator(inherit_discount=0.5)
+
+
+class TestParityWithDirectOptimize:
+    """Cold cache + no deadline: service answers == repro.optimize()."""
+
+    @pytest.mark.parametrize("objective", ["point", "lec", "multiparam",
+                                           "algorithm_b"])
+    def test_four_objectives(self, service, uncertain_query,
+                             small_memory_dist, objective):
+        direct = optimize(uncertain_query, objective, memory=small_memory_dist)
+        served = service.optimize(uncertain_query, objective,
+                                  memory=small_memory_dist)
+        assert served.rung == RUNG_FULL
+        assert not served.cache_hit
+        assert not served.degraded
+        assert served.plan == direct.plan
+        assert abs(served.objective_value - direct.objective) < 1e-9
+
+    def test_markov_memory(self, service, three_way_query):
+        chain = MarkovParameter(
+            [500.0, 2000.0], [0.3, 0.7], [[0.9, 0.1], [0.2, 0.8]]
+        )
+        direct = optimize(three_way_query, "markov", memory=chain)
+        served = service.optimize(three_way_query, "markov", memory=chain)
+        assert served.plan == direct.plan
+        assert abs(served.objective_value - direct.objective) < 1e-9
+
+    def test_config_errors_propagate(self, service, three_way_query):
+        with pytest.raises(OptimizerConfigError):
+            service.optimize(three_way_query, "warp-drive", memory=500.0)
+        with pytest.raises(OptimizerConfigError):
+            service.optimize(three_way_query, "lec", memory=None)
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache_with_identical_answer(
+        self, service, three_way_query, small_memory_dist
+    ):
+        first = service.optimize(three_way_query, "lec", memory=small_memory_dist)
+        second = service.optimize(three_way_query, "lec", memory=small_memory_dist)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.plan == first.plan
+        assert abs(second.objective_value - first.objective_value) < 1e-9
+        stats = service.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_different_memory_is_a_different_entry(
+        self, service, three_way_query, small_memory_dist, bimodal_memory
+    ):
+        service.optimize(three_way_query, "lec", memory=small_memory_dist)
+        other = service.optimize(three_way_query, "lec", memory=bimodal_memory)
+        assert not other.cache_hit
+        assert len(service.cache) == 2
+
+    def test_different_knobs_are_different_entries(
+        self, service, three_way_query, small_memory_dist
+    ):
+        service.optimize(three_way_query, "lec", memory=small_memory_dist)
+        other = service.optimize(
+            three_way_query, "lec", memory=small_memory_dist, top_k=2
+        )
+        assert not other.cache_hit
+
+    def test_cache_disabled(self, three_way_query, small_memory_dist):
+        with OptimizerService(cache=False) as svc:
+            svc.optimize(three_way_query, "lec", memory=small_memory_dist)
+            again = svc.optimize(three_way_query, "lec", memory=small_memory_dist)
+            assert not again.cache_hit
+            assert svc.cache is None
+
+
+class TestDegradationLadder:
+    def _pressured_service(self, **kwargs):
+        """Service whose estimator believes full/coarse take ~10s."""
+        est = LatencyEstimator()
+        for rung in (RUNG_FULL, RUNG_COARSE):
+            for n_rels in (2, 3, 4, 5):
+                for kind in ("expected", "multiparam", "algorithm_a",
+                             "algorithm_b", "markov"):
+                    est.record(rung, kind, n_rels, 10.0)
+        return OptimizerService(estimator=est, **kwargs)
+
+    def test_deadline_pressure_returns_lsc_within_budget(
+        self, three_way_query, small_memory_dist
+    ):
+        deadline = 5.0  # generous wall-clock, tiny vs the 10s estimates
+        with self._pressured_service() as svc:
+            result = svc.optimize(
+                three_way_query, "lec", memory=small_memory_dist,
+                deadline=deadline,
+            )
+        assert result.rung == RUNG_LSC
+        assert result.degraded
+        assert result.skipped_rungs == (RUNG_FULL, RUNG_COARSE)
+        assert result.latency <= deadline
+        assert not result.deadline_exceeded
+        # The LSC fallback is the classical point optimization at the mean.
+        direct = optimize(
+            three_way_query, "point", memory=small_memory_dist.mean()
+        )
+        assert result.plan == direct.plan
+        assert abs(result.objective_value - direct.objective) < 1e-9
+
+    def test_fallback_recorded_in_metrics_snapshot(
+        self, three_way_query, small_memory_dist
+    ):
+        with self._pressured_service() as svc:
+            svc.optimize(three_way_query, "lec", memory=small_memory_dist,
+                         deadline=5.0)
+            snap = svc.metrics_snapshot()
+        counters = snap["counters"]
+        assert counters["serving.rung.lsc"] == 1
+        assert counters["serving.degraded"] == 1
+        assert counters["serving.rung_skipped"] == 2
+        assert counters.get("serving.rung.full", 0) == 0
+        assert snap["histograms"]["serving.latency.optimize"]["count"] == 1
+
+    def test_degraded_answers_are_not_cached(
+        self, three_way_query, small_memory_dist
+    ):
+        with self._pressured_service() as svc:
+            svc.optimize(three_way_query, "lec", memory=small_memory_dist,
+                         deadline=5.0)
+            assert len(svc.cache) == 0
+            # Without pressure the same request re-optimizes at full
+            # quality and only then lands in the cache.
+            full = svc.optimize(three_way_query, "lec",
+                                memory=small_memory_dist)
+            assert full.rung == RUNG_FULL
+            assert len(svc.cache) == 1
+
+    def test_coarse_rung_runs_when_it_fits(
+        self, three_way_query, small_memory_dist
+    ):
+        est = LatencyEstimator()
+        est.record(RUNG_FULL, "expected", 3, 10.0)
+        est.record(RUNG_COARSE, "expected", 3, 1e-6)
+        with OptimizerService(estimator=est) as svc:
+            result = svc.optimize(
+                three_way_query, "lec", memory=small_memory_dist, deadline=5.0
+            )
+        assert result.rung == RUNG_COARSE
+        assert result.skipped_rungs == (RUNG_FULL,)
+        assert result.plan is not None
+
+    def test_no_deadline_always_runs_full(
+        self, three_way_query, small_memory_dist
+    ):
+        with self._pressured_service() as svc:
+            result = svc.optimize(three_way_query, "lec",
+                                  memory=small_memory_dist)
+        assert result.rung == RUNG_FULL
+
+    def test_point_objective_has_single_rung(self, three_way_query):
+        with self._pressured_service() as svc:
+            result = svc.optimize(three_way_query, "point", memory=500.0,
+                                  deadline=5.0)
+        assert result.rung == RUNG_FULL
+        assert result.skipped_rungs == ()
+
+    def test_full_latency_is_learned(self, service, three_way_query,
+                                     small_memory_dist):
+        service.optimize(three_way_query, "lec", memory=small_memory_dist)
+        learned = service.estimator.estimate(RUNG_FULL, "expected", 3)
+        assert learned is not None and learned > 0.0
+
+
+class TestConcurrency:
+    def test_submit_returns_future(self, service, three_way_query,
+                                   small_memory_dist):
+        future = service.submit(query=three_way_query, objective="lec",
+                                memory=small_memory_dist)
+        result = future.result(timeout=60)
+        assert result.plan is not None
+
+    def test_batch_preserves_order_and_agrees(
+        self, three_way_query, example_query, small_memory_dist, bimodal_memory
+    ):
+        requests = [
+            OptimizeRequest(query=three_way_query, objective="lec",
+                            memory=small_memory_dist),
+            OptimizeRequest(query=example_query, objective="lec",
+                            memory=bimodal_memory),
+            OptimizeRequest(query=three_way_query, objective="point",
+                            memory=500.0),
+        ] * 3
+        with OptimizerService(max_workers=4) as svc:
+            results = svc.optimize_batch(requests)
+        assert len(results) == len(requests)
+        for request, result in zip(requests, results):
+            direct = optimize(request.query, request.objective,
+                              memory=request.memory)
+            assert result.plan == direct.plan
+            assert abs(result.objective_value - direct.objective) < 1e-9
+
+    def test_many_concurrent_identical_requests_one_optimization(
+        self, three_way_query, small_memory_dist
+    ):
+        with OptimizerService(max_workers=8) as svc:
+            futures = [
+                svc.submit(query=three_way_query, objective="lec",
+                           memory=small_memory_dist)
+                for _ in range(32)
+            ]
+            results = [f.result(timeout=120) for f in futures]
+        signatures = {r.plan.signature() for r in results}
+        objectives = {round(r.objective_value, 9) for r in results}
+        assert len(signatures) == 1
+        assert len(objectives) == 1
+        stats = svc.cache.stats()
+        assert stats["hits"] + stats["misses"] == 32
+        assert stats["hits"] >= 1

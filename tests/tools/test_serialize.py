@@ -193,3 +193,189 @@ class TestPropertyRoundTrip:
             assert back == d
 
         check()
+
+
+class TestExactInverseProperties:
+    """to_dict/from_dict are exact inverses at the dict layer too (not
+    just through the JSON string round-trip)."""
+
+    def test_plan_dict_exact_inverse(self):
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.costmodel.model import DEFAULT_METHODS
+        from repro.optimizer.exhaustive import enumerate_left_deep_plans
+        from repro.workloads.queries import random_query
+
+        @given(
+            seed=st.integers(0, 2**31),
+            n=st.integers(2, 4),
+            take=st.integers(0, 30),
+        )
+        @settings(max_examples=40, deadline=None)
+        def check(seed, n, take):
+            rng = np.random.default_rng(seed)
+            q = random_query(n, rng)
+            plans = list(enumerate_left_deep_plans(q, DEFAULT_METHODS))
+            plan = plans[take % len(plans)]
+            doc = plan_to_dict(plan)
+            back = plan_from_dict(doc)
+            assert back == plan
+            # Encoding the decoded plan reproduces the document exactly.
+            assert plan_to_dict(back) == doc
+
+        check()
+
+    def test_distribution_dict_exact_inverse(self):
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.distributions import DiscreteDistribution
+        from repro.tools.serialize import distribution_to_dict
+
+        @given(seed=st.integers(0, 2**31), b=st.integers(1, 12))
+        @settings(max_examples=40, deadline=None)
+        def check(seed, b):
+            rng = np.random.default_rng(seed)
+            d = DiscreteDistribution(
+                np.sort(rng.uniform(0, 1e6, b)), rng.dirichlet(np.ones(b))
+            )
+            back = distribution_from_dict(distribution_to_dict(d))
+            # Support points survive bit-exactly; probabilities are
+            # renormalised on construction, so allow only float-ulp drift.
+            assert np.array_equal(np.asarray(back.values), np.asarray(d.values))
+            assert np.max(np.abs(np.asarray(back.probs) - np.asarray(d.probs))) < 1e-15
+            assert back == d
+            assert back.mean() == pytest.approx(d.mean(), abs=1e-9)
+
+        check()
+
+
+class TestMalformedDocumentsRaiseCleanly:
+    """Corrupted documents raise SerializationError — never KeyError,
+    TypeError or AttributeError — no matter which field is mangled."""
+
+    _GARBAGE = [None, [], {}, "bogus", 3.5, [["nested"]]]
+
+    def _corrupt(self, doc, path, mode, garbage_i):
+        """Return a deep copy of ``doc`` with one node deleted/mangled."""
+        import copy
+
+        doc = copy.deepcopy(doc)
+        node = doc
+        for step in path[:-1]:
+            node = node[step]
+        if mode == "delete":
+            del node[path[-1]]
+        else:
+            node[path[-1]] = self._GARBAGE[garbage_i % len(self._GARBAGE)]
+        return doc
+
+    def _paths(self, node, prefix=()):
+        """Every (path, key) location in a nested dict/list document."""
+        out = []
+        if isinstance(node, dict):
+            items = node.items()
+        elif isinstance(node, list):
+            items = enumerate(node)
+        else:
+            return out
+        for key, value in items:
+            out.append(prefix + (key,))
+            out.extend(self._paths(value, prefix + (key,)))
+        return out
+
+    def _assert_clean(self, decoder, doc):
+        try:
+            decoder(doc)
+        except SerializationError:
+            pass  # the contract: malformed input -> SerializationError
+        # Decoding may also *succeed* when the mangled field was optional.
+
+    def test_corrupted_plan_documents(self, sample_plan):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        doc = plan_to_dict(sample_plan)
+        paths = self._paths(doc)
+
+        @given(
+            which=st.integers(0, len(paths) - 1),
+            mode=st.sampled_from(["delete", "garbage"]),
+            garbage_i=st.integers(0, 5),
+        )
+        @settings(max_examples=120, deadline=None)
+        def check(which, mode, garbage_i):
+            path = paths[which]
+            if mode == "delete" and not isinstance(path[-1], str):
+                mode = "garbage"  # cannot del a list index meaningfully here
+            self._assert_clean(plan_from_dict, self._corrupt(doc, path, mode, garbage_i))
+
+        check()
+
+    def test_corrupted_distribution_documents(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.distributions import two_point
+        from repro.tools.serialize import distribution_to_dict
+
+        doc = distribution_to_dict(two_point(2000.0, 0.8, 700.0))
+        paths = self._paths(doc)
+
+        @given(
+            which=st.integers(0, len(paths) - 1),
+            mode=st.sampled_from(["delete", "garbage"]),
+            garbage_i=st.integers(0, 5),
+        )
+        @settings(max_examples=120, deadline=None)
+        def check(which, mode, garbage_i):
+            path = paths[which]
+            if mode == "delete" and not isinstance(path[-1], str):
+                mode = "garbage"
+            self._assert_clean(
+                distribution_from_dict, self._corrupt(doc, path, mode, garbage_i)
+            )
+
+        check()
+
+    def test_corrupted_store_documents(self, example_query):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.strategies.choice_nodes import build_choice_plan
+        from repro.tools.serialize import (
+            choice_plan_from_dict,
+            choice_plan_to_dict,
+            parametric_from_dict,
+            parametric_to_dict,
+        )
+
+        cp_doc = choice_plan_to_dict(build_choice_plan(example_query, 100.0, 5000.0))
+        ps_doc = parametric_to_dict(parametric_optimize(example_query, 100.0, 5000.0))
+        cases = [
+            (choice_plan_from_dict, cp_doc, self._paths(cp_doc)),
+            (parametric_from_dict, ps_doc, self._paths(ps_doc)),
+        ]
+
+        @given(
+            case=st.integers(0, 1),
+            which=st.integers(0, 10**6),
+            mode=st.sampled_from(["delete", "garbage"]),
+            garbage_i=st.integers(0, 5),
+        )
+        @settings(max_examples=120, deadline=None)
+        def check(case, which, mode, garbage_i):
+            decoder, doc, paths = cases[case]
+            path = paths[which % len(paths)]
+            if mode == "delete" and not isinstance(path[-1], str):
+                mode = "garbage"
+            self._assert_clean(decoder, self._corrupt(doc, path, mode, garbage_i))
+
+        check()
+
+    def test_unhashable_kind_tag(self):
+        with pytest.raises(SerializationError):
+            loads('{"kind": ["plan"]}')
