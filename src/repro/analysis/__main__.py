@@ -1,0 +1,132 @@
+"""CLI for the optlint engine: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 — clean (or fully baselined/suppressed); 1 — new
+findings; 2 — usage or parse errors.
+
+The default baseline is ``.optlint-baseline.json`` in the current
+directory when it exists, so the CI invocation is just
+``python -m repro.analysis src``.  ``--update-baseline`` rewrites the
+baseline to absorb the current findings — the diff of that file is the
+reviewable record of accepted debt.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import Baseline
+from .engine import AnalysisEngine, Finding, iter_python_files, registered_rules
+
+DEFAULT_BASELINE = ".optlint-baseline.json"
+
+
+def _render_text(findings: List[Finding], engine: AnalysisEngine) -> str:
+    lines = [f"{f.location()}: {f.rule}: {f.message}" for f in findings]
+    summary = (
+        f"{len(findings)} finding(s), "
+        f"{len(engine.suppressed)} suppressed/baselined"
+    )
+    if engine.errors:
+        lines.extend(f"error: {msg}" for msg in engine.errors)
+        summary += f", {len(engine.errors)} parse error(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding], engine: AnalysisEngine) -> str:
+    doc: Dict[str, object] = {
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": len(engine.suppressed),
+        "errors": list(engine.errors),
+        "rules": {
+            name: cls.description for name, cls in registered_rules().items()
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis for the LEC repo.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to check (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to absorb current "
+                             "findings, then exit 0")
+    parser.add_argument("--rules", default=None, metavar="R1,R2",
+                        help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    rule_classes = registered_rules()
+    if args.list_rules:
+        for name in sorted(rule_classes):
+            print(f"{name}  {rule_classes[name].description}")
+        return 0
+
+    selected = None
+    if args.rules:
+        wanted = {tok.strip() for tok in args.rules.split(",") if tok.strip()}
+        unknown = wanted - set(rule_classes)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        selected = [rule_classes[name]() for name in sorted(wanted)]
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    baseline = None
+    if baseline_path and not args.no_baseline and not args.update_baseline:
+        if not os.path.exists(baseline_path):
+            print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"bad baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    engine = AnalysisEngine(rules=selected, baseline=baseline)
+    try:
+        findings = engine.check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        lines_by_path: Dict[str, List[str]] = {}
+        for path in iter_python_files(args.paths):
+            with open(path, "r", encoding="utf-8") as fh:
+                lines_by_path[path] = fh.read().splitlines()
+        Baseline.from_findings(findings, lines_by_path).save(target)
+        print(f"baseline written: {target} ({len(findings)} entries)")
+        return 0
+
+    print(_render_text(findings, engine) if args.format == "text"
+          else _render_json(findings, engine))
+    if engine.errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

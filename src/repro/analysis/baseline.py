@@ -1,0 +1,130 @@
+"""Suppressions: inline ``# optlint: disable=RULE`` and the committed baseline.
+
+Two escape hatches keep the lint gate strict without blocking work:
+
+* **Inline suppression** — append ``# optlint: disable=RULE`` (or a
+  comma-separated list, or ``all``) to the offending line.  This is the
+  right tool for a *justified* violation, e.g. an exact ``== 0.0`` guard
+  that intentionally precedes a division.
+* **Baseline file** — a committed JSON file listing known findings by
+  ``(rule, path, context)`` where ``context`` is the stripped source
+  line.  Matching on line *content* rather than line *number* keeps the
+  baseline stable across unrelated edits; each entry absorbs at most
+  ``count`` occurrences per run, so newly introduced copies of an old
+  sin still fail the gate.  The intended end state is an empty baseline:
+  ``python -m repro.analysis src --update-baseline`` regenerates it, and
+  code review decides whether the diff is debt or a fix.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .engine import Finding
+
+__all__ = ["suppressed_rules_for_line", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+_DIRECTIVE = re.compile(r"#\s*optlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_directives(line: str) -> Set[str]:
+    """Rule names disabled by the ``# optlint:`` comment on one line."""
+    match = _DIRECTIVE.search(line)
+    if not match:
+        return set()
+    return {tok.strip() for tok in match.group(1).split(",") if tok.strip()}
+
+
+def suppressed_rules_for_line(lines: Sequence[str], lineno: int) -> Set[str]:
+    """Rules suppressed at ``lineno`` (1-based).
+
+    A directive applies to its own line; a directive on a line *by
+    itself* (nothing but the comment) applies to the following line
+    instead, so long statements can keep their suppression adjacent.
+    """
+    out: Set[str] = set()
+    if 1 <= lineno <= len(lines):
+        out |= parse_directives(lines[lineno - 1])
+    if 2 <= lineno <= len(lines) + 1:
+        prev = lines[lineno - 2]
+        if prev.lstrip().startswith("#"):
+            out |= parse_directives(prev)
+    return out
+
+
+class Baseline:
+    """Known findings, keyed by ``(rule, path, context line)``.
+
+    ``matches`` is stateful within one run: each baseline entry absorbs
+    only as many findings as were recorded, so adding a second identical
+    violation on a new line is still reported.
+    """
+
+    def __init__(self, entries: Dict[Tuple[str, str, str], int] = None):
+        self._entries: Counter = Counter(entries or {})
+        self._budget: Counter = Counter(self._entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    @staticmethod
+    def _key(finding: Finding, lines: Sequence[str]) -> Tuple[str, str, str]:
+        return (finding.rule, finding.path.replace("\\", "/"),
+                finding.context(lines))
+
+    def matches(self, finding: Finding, lines: Sequence[str]) -> bool:
+        """True (and consumes one budget slot) if the finding is known."""
+        key = self._key(finding, lines)
+        if self._budget[key] > 0:
+            self._budget[key] -= 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Restore per-run matching budgets (for reuse across runs)."""
+        self._budget = Counter(self._entries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      lines_by_path: Dict[str, Sequence[str]]) -> "Baseline":
+        counts: Counter = Counter()
+        for f in findings:
+            counts[cls._key(f, lines_by_path.get(f.path, []))] += 1
+        return cls(dict(counts))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {doc.get('version')!r} in {path}"
+            )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in doc.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["context"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        entries: List[Dict] = []
+        for (rule, fpath, context), count in sorted(self._entries.items()):
+            entries.append({
+                "rule": rule,
+                "path": fpath,
+                "context": context,
+                "count": count,
+            })
+        doc = {"version": BASELINE_VERSION, "findings": entries}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")

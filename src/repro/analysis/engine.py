@@ -1,0 +1,244 @@
+"""The optlint engine: per-file AST analysis with a pluggable rule registry.
+
+The LEC framework's correctness rests on invariants the type system
+cannot express: cost formulas are discontinuous, so exact float equality
+on costs is a latent bug; distributions must stay normalized; the
+serving layer's plan cache is only sound if every catalog mutation bumps
+the version fence and every shared structure is touched under its lock.
+This module provides the machinery to enforce such invariants as
+repo-specific static-analysis rules:
+
+* :class:`Rule` — one invariant checker.  A rule declares ``name`` (the
+  finding code, e.g. ``LOCK001``), a one-line ``description``, and a
+  :meth:`Rule.check` generator over a parsed :class:`ModuleInfo`.
+* :func:`register` — class decorator adding a rule to the global
+  registry; ``repro.analysis.rules`` registers the built-in rule set on
+  import.
+* :class:`AnalysisEngine` — parses each file once into a
+  :class:`ModuleInfo` (AST with parent links plus source lines) and
+  dispatches every registered rule over it, applying inline
+  suppressions (``# optlint: disable=RULE``) and an optional committed
+  baseline (see :mod:`repro.analysis.baseline`).
+
+Findings are plain data (:class:`Finding`) so callers can render text,
+JSON, or assert on them in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "register",
+    "registered_rules",
+    "AnalysisEngine",
+    "iter_python_files",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` for terminal output."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def context(self, lines: Sequence[str]) -> str:
+        """The stripped source line the finding points at."""
+        if 1 <= self.line <= len(lines):
+            return lines[self.line - 1].strip()
+        return ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, shared by every rule.
+
+    ``parents`` maps each AST node to its syntactic parent, letting
+    rules walk outward (e.g. "is this assignment inside a ``with
+    self._lock`` block?") without re-traversing the tree.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleInfo":
+        tree = ast.parse(source, filename=path)
+        info = cls(path=path, source=source, tree=tree,
+                   lines=source.splitlines())
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                info.parents[child] = parent
+        return info
+
+    @property
+    def is_test(self) -> bool:
+        """Heuristic: test files get a pass from some rules (DET001)."""
+        parts = self.path.replace(os.sep, "/").split("/")
+        base = parts[-1] if parts else ""
+        return (
+            "tests" in parts
+            or base.startswith("test_")
+            or base.endswith("_test.py")
+            or base == "conftest.py"
+        )
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set :attr:`name` (the finding code), :attr:`description`
+    and implement :meth:`check`, yielding :class:`Finding` objects.  The
+    :meth:`finding` helper fills in the boilerplate.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a :class:`Rule` subclass to the registry."""
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} must set a name")
+    if rule_cls.name in _REGISTRY and _REGISTRY[rule_cls.name] is not rule_cls:
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """Snapshot of the registry (name → rule class), built-ins included."""
+    # Importing the rules package registers the built-in rule set.
+    from . import rules  # noqa: F401  — import for registration side effect
+
+    return dict(_REGISTRY)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for root, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    yield os.path.join(root, fname)
+
+
+class AnalysisEngine:
+    """Runs a rule set over files, honoring suppressions and a baseline.
+
+    Parameters
+    ----------
+    rules:
+        Rule instances to run; defaults to one instance of every
+        registered rule.
+    baseline:
+        Optional :class:`~repro.analysis.baseline.Baseline`; findings it
+        matches are counted as suppressed instead of reported.
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 baseline=None):
+        if rules is None:
+            rules = [cls() for _, cls in sorted(registered_rules().items())]
+        self.rules: List[Rule] = list(rules)
+        self.baseline = baseline
+        self.suppressed: List[Finding] = []
+        self.errors: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Analyze one in-memory module; used heavily by the rule tests."""
+        from .baseline import suppressed_rules_for_line
+
+        try:
+            module = ModuleInfo.parse(path, source)
+        except SyntaxError as exc:
+            self.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+            return []
+        raw: List[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check(module))
+        out: List[Finding] = []
+        for f in sorted(raw, key=lambda f: (f.path, f.line, f.col, f.rule)):
+            disabled = suppressed_rules_for_line(module.lines, f.line)
+            if f.rule in disabled or "all" in disabled:
+                self.suppressed.append(f)
+                continue
+            if self.baseline is not None and self.baseline.matches(f, module.lines):
+                self.suppressed.append(f)
+                continue
+            out.append(f)
+        return out
+
+    def check_file(self, path: str) -> List[Finding]:
+        """Analyze one file on disk."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return self.check_source(fh.read(), path=path)
+
+    def check_paths(self, paths: Iterable[str]) -> List[Finding]:
+        """Analyze every ``.py`` file reachable from ``paths``."""
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.check_file(path))
+        return findings

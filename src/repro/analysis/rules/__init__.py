@@ -1,0 +1,39 @@
+"""Built-in optlint rules; importing this package registers them all.
+
+================  =====================================================
+rule              invariant
+================  =====================================================
+``LOCK001``       lock-owning classes/modules write shared state only
+                  under ``with <lock>:`` (serving cache, metrics,
+                  facade context LRU)
+``VER001``        every statistics mutation bumps the catalog/feedback
+                  ``version`` fence the plan cache keys on
+``FLT001``        no exact ``==``/``!=`` between cost/probability
+                  expressions (cost formulas are discontinuous)
+``DET001``        no module-level or unseeded RNG outside tests;
+                  experiments thread explicit seeded Generators
+``DIST001``       ``DiscreteDistribution`` internals are private;
+                  construction goes through normalizing constructors
+================  =====================================================
+
+Adding a rule: create a module here with a :class:`~repro.analysis.
+engine.Rule` subclass decorated with ``@register``, import it below,
+and add a triggering + clean fixture pair in
+``tests/analysis/test_rules.py``.
+"""
+
+from __future__ import annotations
+
+from .det001 import DeterminismRule
+from .dist001 import DistributionEncapsulationRule
+from .flt001 import FloatEqualityRule
+from .lock001 import LockDisciplineRule
+from .ver001 import VersionFenceRule
+
+__all__ = [
+    "DeterminismRule",
+    "DistributionEncapsulationRule",
+    "FloatEqualityRule",
+    "LockDisciplineRule",
+    "VersionFenceRule",
+]

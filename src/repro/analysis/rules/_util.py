@@ -1,0 +1,104 @@
+"""Small AST helpers shared by the optlint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+__all__ = [
+    "dotted_name",
+    "self_attr",
+    "root_name",
+    "name_hint",
+    "walk_functions",
+    "enclosing_class",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name when ``node`` is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The base identifier of an attribute/subscript/call chain.
+
+    ``self._entries[key].foo`` → ``"self"``; ``stats.histograms`` →
+    ``"stats"``.  Calls are traversed through their function expression,
+    so ``self.table_stats(t).histograms`` also roots at ``"self"``.
+    """
+    cur = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        elif isinstance(cur, ast.Call):
+            cur = cur.func
+        elif isinstance(cur, ast.Name):
+            return cur.id
+        else:
+            return None
+
+
+def name_hint(node: ast.AST) -> str:
+    """The most specific identifier naming an expression.
+
+    Used for "does this look like a cost/probability?" heuristics:
+    ``plan.cost`` → ``cost``, ``dist.mean()`` → ``mean``,
+    ``costs[i]`` → ``costs``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return name_hint(node.func)
+    if isinstance(node, ast.Subscript):
+        return name_hint(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return name_hint(node.operand)
+    return ""
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every (async) function definition in the tree, any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def enclosing_class(module, node: ast.AST) -> Optional[ast.ClassDef]:
+    """The nearest ClassDef ancestor of ``node``, if any."""
+    for anc in module.ancestors(node):
+        if isinstance(anc, ast.ClassDef):
+            return anc
+    return None
+
+
+def global_names(func: ast.AST) -> Set[str]:
+    """Names declared ``global`` anywhere inside one function body."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            out.update(node.names)
+    return out

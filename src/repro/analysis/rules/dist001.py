@@ -1,0 +1,76 @@
+"""DIST001 — DiscreteDistribution internals are off-limits outside the class.
+
+:class:`~repro.core.distributions.DiscreteDistribution` guarantees its
+invariants — sorted unique support, non-negative mass summing to one,
+frozen arrays, cached prefix sums consistent with both — *only* in its
+constructor, which sorts, merges and renormalizes.  Reaching into the
+private arrays (``_values``/``_probs``/``_cdf``/``_weighted_prefix``)
+from outside bypasses every one of those guarantees: a mutated ``_probs``
+silently desynchronizes the cached CDF and every expectation computed
+afterwards is wrong.
+
+Flagged outside the defining module: any load/store/delete of the
+internal attributes, and ``object.__setattr__`` smuggling.  Construction
+and transformation must go through the public API (``values``/``probs``
+properties, ``scale``/``shift``/``rebucket``/``mixture``/..., or a fresh
+normalizing ``DiscreteDistribution(...)`` call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleInfo, Rule, register
+from ._util import dotted_name
+
+__all__ = ["DistributionEncapsulationRule"]
+
+#: the private state backing a DiscreteDistribution.
+_INTERNALS = {"_values", "_probs", "_cdf", "_weighted_prefix"}
+
+
+def _defines_distribution(module: ModuleInfo) -> bool:
+    return any(
+        isinstance(node, ast.ClassDef) and node.name == "DiscreteDistribution"
+        for node in module.tree.body
+    )
+
+
+@register
+class DistributionEncapsulationRule(Rule):
+    name = "DIST001"
+    description = (
+        "no direct access to DiscreteDistribution internals; use the "
+        "public API / normalizing constructors"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if _defines_distribution(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _INTERNALS:
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    yield self.finding(
+                        module, node,
+                        f"direct mutation of distribution internal "
+                        f"{node.attr!r} bypasses normalization; build a new "
+                        f"DiscreteDistribution instead",
+                    )
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"reading distribution internal {node.attr!r}; use "
+                        f".values/.probs/.support()/.items() instead",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.endswith("__setattr__") \
+                        and len(node.args) >= 2 \
+                        and isinstance(node.args[1], ast.Constant) \
+                        and node.args[1].value in _INTERNALS:
+                    yield self.finding(
+                        module, node,
+                        f"object.__setattr__ on distribution internal "
+                        f"{node.args[1].value!r} bypasses normalization",
+                    )

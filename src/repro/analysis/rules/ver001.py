@@ -1,0 +1,174 @@
+"""VER001 — every statistics mutation must bump the catalog version fence.
+
+The serving layer's plan cache embeds ``StatisticsCatalog.version`` and
+``SelectivityFeedback.version`` in every key: a plan optimized against
+stale statistics can only be prevented from serving if *every* mutation
+bumps the fence.  Two checks enforce that:
+
+* **Inside the versioned classes** — any method of
+  ``StatisticsCatalog``/``SelectivityFeedback`` that stores into
+  ``self``-reachable state must also bump (``self._version += 1``,
+  ``self._version = ...`` or ``self.bump_version()``) somewhere in the
+  same method (a conditional bump counts — ``record`` only bumps when
+  observations actually landed).
+* **Everywhere else** — a function that writes the known mutable
+  statistics fields (``.histograms``, ``.n_distinct``,
+  ``.size_distribution``) of some stats object must call
+  ``bump_version()`` (or bump a ``_version`` counter) in the same
+  function.  This is what catches out-of-band edits like a facade
+  rebuilding per-table stats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..engine import Finding, ModuleInfo, Rule, register
+from ._util import enclosing_class, root_name, self_attr
+
+__all__ = ["VersionFenceRule"]
+
+#: classes whose ``version`` is a cache-invalidation fence.
+_VERSIONED_CLASSES = {"StatisticsCatalog", "SelectivityFeedback"}
+
+#: mutable statistics fields tracked outside the versioned classes.
+_STATS_FIELDS = {"histograms", "n_distinct", "size_distribution"}
+
+#: in-place container mutators.
+_MUTATORS = {"append", "extend", "update", "clear", "pop", "popitem",
+             "setdefault", "insert", "remove", "add", "discard"}
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__", "bump_version"}
+
+
+def _bumps_version(func: ast.AST) -> bool:
+    """True if the function body contains a version bump."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Attribute) and t.attr in ("_version", "version"):
+                    return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "bump_version":
+                return True
+    return False
+
+
+@register
+class VersionFenceRule(Rule):
+    name = "VER001"
+    description = (
+        "statistics mutations must bump the catalog/feedback version fence"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in _VERSIONED_CLASSES:
+                yield from self._check_versioned_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls = enclosing_class(module, node)
+                if cls is not None and cls.name in _VERSIONED_CLASSES:
+                    continue  # covered by the class check
+                yield from self._check_stats_fields(module, node)
+
+    # ------------------------------------------------------------------
+    # Methods of the versioned classes
+    # ------------------------------------------------------------------
+
+    def _check_versioned_class(self, module: ModuleInfo,
+                               cls: ast.ClassDef) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _EXEMPT_METHODS:
+                continue
+            mutation = self._first_self_mutation(stmt)
+            if mutation is not None and not _bumps_version(stmt):
+                yield self.finding(
+                    module, mutation,
+                    f"{cls.name}.{stmt.name} mutates catalog state without "
+                    f"bumping the version fence (self._version / "
+                    f"bump_version())",
+                )
+
+    def _first_self_mutation(self, func: ast.AST) -> Optional[ast.AST]:
+        """First statement mutating self-reachable state, if any.
+
+        Locals assigned from ``self``-rooted expressions are tracked so
+        ``stats = self.table_stats(t); stats.histograms[c] = h`` counts.
+        """
+        derived: Set[str] = {"self"}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                rooted = root_name(node.value)
+                if rooted in derived:
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            derived.add(t.id)
+        for node in ast.walk(func):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for t in targets:
+                if isinstance(t, (ast.Attribute, ast.Subscript)):
+                    if t is not None and self._is_version_target(t):
+                        continue
+                    if root_name(t) in derived:
+                        return node
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATORS and \
+                        root_name(node.func.value) in derived:
+                    return node
+        return None
+
+    @staticmethod
+    def _is_version_target(target: ast.AST) -> bool:
+        attr = self_attr(target)
+        return attr in ("_version", "version")
+
+    # ------------------------------------------------------------------
+    # Out-of-band statistics edits anywhere else
+    # ------------------------------------------------------------------
+
+    def _check_stats_fields(self, module: ModuleInfo,
+                            func: ast.AST) -> Iterator[Finding]:
+        mutation = self._first_stats_field_mutation(func)
+        if mutation is not None and not _bumps_version(func):
+            yield self.finding(
+                module, mutation,
+                f"{func.name}() edits table statistics "
+                f"({'/'.join(sorted(_STATS_FIELDS))}) without bumping the "
+                f"owning catalog's version fence",
+            )
+
+    def _first_stats_field_mutation(self, func: ast.AST) -> Optional[ast.AST]:
+        for node in ast.walk(func):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for t in targets:
+                # x.size_distribution = ...   (direct field store)
+                if isinstance(t, ast.Attribute) and t.attr in _STATS_FIELDS:
+                    if not (isinstance(t.value, ast.Name)
+                            and t.value.id == "self"):
+                        return node
+                # x.histograms[c] = ...       (keyed store into a field)
+                if isinstance(t, ast.Subscript) and \
+                        isinstance(t.value, ast.Attribute) and \
+                        t.value.attr in _STATS_FIELDS:
+                    return node
+            # x.histograms.update(...) etc.   (in-place mutator call)
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATORS and \
+                        isinstance(node.func.value, ast.Attribute) and \
+                        node.func.value.attr in _STATS_FIELDS:
+                    return node
+        return None

@@ -17,8 +17,8 @@ catalog estimate is blended in, shrinking as evidence arrives.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -12,7 +12,7 @@ data, exactly as a DBMS's ANALYZE would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 __all__ = ["Column", "Index", "Table", "Catalog", "SchemaError"]
 

@@ -12,9 +12,8 @@ queries (for the LEC algorithms).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Optional
 
-import numpy as np
 
 from ..core.distributions import DiscreteDistribution, point_mass
 from .histogram import EquiDepthHistogram, Histogram
@@ -82,20 +81,28 @@ class StatisticsCatalog:
     against stale statistics can never be served after an ANALYZE.
     """
 
-    def __init__(self, schema: Catalog):
+    def __init__(self, schema: Catalog, *, version_start: int = 0):
+        """``version_start`` lets a rebuilt catalog continue its
+        predecessor's version sequence instead of restarting at 0 —
+        restarting could collide with a version already baked into plan
+        cache keys and resurrect stale plans."""
         self.schema = schema
-        self._version = 0
-        self._stats: Dict[str, TableStats] = {}
-        for table in schema:
-            self._stats[table.name] = TableStats(
-                n_rows=table.n_rows,
-                n_pages=table.n_pages,
-                n_distinct={
-                    c.name: c.n_distinct
-                    for c in table.columns
-                    if c.n_distinct is not None
-                },
-            )
+        self._version = int(version_start)
+        self._stats: Dict[str, TableStats] = {
+            table.name: self._fresh_table_stats(table) for table in schema
+        }
+
+    @staticmethod
+    def _fresh_table_stats(table: Table) -> TableStats:
+        return TableStats(
+            n_rows=table.n_rows,
+            n_pages=table.n_pages,
+            n_distinct={
+                c.name: c.n_distinct
+                for c in table.columns
+                if c.n_distinct is not None
+            },
+        )
 
     # ------------------------------------------------------------------
     # Versioning (cache-invalidation hook)
@@ -110,6 +117,25 @@ class StatisticsCatalog:
         """Record an out-of-band statistics mutation; returns the new version."""
         self._version += 1
         return self._version
+
+    def refresh_schema(self) -> int:
+        """Synchronise per-table stats with the schema (the DDL hook).
+
+        New tables get fresh :class:`TableStats`, dropped tables are
+        forgotten, existing tables keep their analyzed state — all *in
+        place*, so external holders of this catalog (a serving layer
+        keyed on :attr:`version`) observe the DDL as a version bump
+        rather than being stranded on a replaced object.
+        """
+        live = set()
+        for table in self.schema:
+            live.add(table.name)
+            if table.name not in self._stats:
+                self._stats[table.name] = self._fresh_table_stats(table)
+        for name in list(self._stats):
+            if name not in live:
+                del self._stats[name]
+        return self.bump_version()
 
     # ------------------------------------------------------------------
     # Maintenance (the ANALYZE path)

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .distributions import DiscreteDistribution
+from .floats import negligible_mass
 
 __all__ = ["DiscreteBayesNet", "BayesNetError"]
 
@@ -149,7 +150,7 @@ class DiscreteBayesNet:
         return self._joint_cache
 
     def _enumerate(self, partial: Assignment, prob: float, depth: int, out):
-        if prob == 0.0:
+        if negligible_mass(prob):
             return
         if depth == len(self._order):
             out.append((dict(partial), prob))

@@ -22,7 +22,7 @@ coarse ``b``-bucket one:
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 

@@ -44,7 +44,7 @@ E4/E7-style overhead accounting rest on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
 from ..costmodel.estimates import (
     SizeEstimate,

@@ -25,9 +25,8 @@ Design notes
 
 from __future__ import annotations
 
-import bisect
 import math
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..plans.properties import JoinMethod
 from .distributions import DiscreteDistribution
+from .floats import negligible_mass
 
 __all__ = [
     "expected_join_cost_naive",
@@ -203,7 +204,9 @@ def expected_nested_loop_cost(
     # Branch 1: A <= B (s = a).  Suffix stats of B at each a.
     for a, pa in outer.items():
         prob_ge, exp_ge = _ge_stats(b_vals, b_cdf, b_wpre, b_total_e, a, strict=False)
-        if prob_ge == 0.0:
+        if negligible_mass(prob_ge):
+            # Suffix-sum cancellation can leave a true zero at ±1e-17;
+            # an exact == 0.0 guard would keep such noise in the sum.
             continue
         p_fit = st.prob_ge(a + 2.0)
         fit_term = p_fit * (a * prob_ge + exp_ge)
@@ -212,7 +215,7 @@ def expected_nested_loop_cost(
     # Branch 2: A > B (s = b).  Suffix stats of A at each b (strict).
     for b, pb in inner.items():
         prob_gt, exp_gt = _ge_stats(a_vals, a_cdf, a_wpre, a_total_e, b, strict=True)
-        if prob_gt == 0.0:
+        if negligible_mass(prob_gt):
             continue
         p_fit = st.prob_ge(b + 2.0)
         fit_term = p_fit * (exp_gt + b * prob_gt)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..costmodel.model import CostModel
 from ..plans.nodes import Plan

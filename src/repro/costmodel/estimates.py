@@ -18,14 +18,14 @@ Two views are provided, mirroring LSC vs. LEC inputs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet
 
 from ..core.distributions import (
     DiscreteDistribution,
     independent_product,
     point_mass,
 )
-from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode
 from ..plans.query import JoinQuery
 
 __all__ = [

@@ -22,7 +22,7 @@ LSC invocation) without relying on wall-clock noise.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.distributions import DiscreteDistribution
 from ..core.markov import MarkovParameter
@@ -30,7 +30,7 @@ from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
 from ..plans.properties import AccessPath, JoinMethod
 from ..plans.query import JoinQuery
 from . import formulas
-from .estimates import SizeEstimate, node_size, subset_size
+from .estimates import node_size
 
 __all__ = ["CostModel", "DEFAULT_METHODS"]
 

@@ -113,17 +113,11 @@ class Database:
         return table
 
     def _register_stats(self, table, column_names, rows) -> None:
-        # Rebuild the statistics catalog to include the new table, keeping
-        # previously analyzed histograms.
-        old = self.stats
-        self.stats = StatisticsCatalog(self.catalog)
-        for existing in old.schema:
-            if existing.name in self.catalog and existing.name != table.name:
-                prev = old.table_stats(existing.name)
-                cur = self.stats.table_stats(existing.name)
-                cur.histograms.update(prev.histograms)
-                cur.n_distinct.update(prev.n_distinct)
-                cur.size_distribution = prev.size_distribution
+        # DDL refreshes the shared statistics catalog *in place*: external
+        # holders (e.g. a serving OptimizerService keyed on stats.version)
+        # must observe the new table as a version bump on the same object,
+        # not be stranded on a replaced catalog with a reset fence.
+        self.stats.refresh_schema()
         if rows:
             for idx, col in enumerate(column_names):
                 values = [float(r[idx]) for r in rows]

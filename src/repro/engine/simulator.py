@@ -11,7 +11,6 @@ evaluations" becomes a measured win-rate (experiments E2/E5/E12).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
 
 from ..core import optimize_algorithm_c, optimize_lsc
 from ..core.distributions import DiscreteDistribution

@@ -74,7 +74,8 @@ def run(quick: bool = False, seed: int = 0) -> List[ExperimentTable]:
     # selectivity `spread`x above the centre makes ~spread x 25% of
     # sampled rows match.  Join selectivities themselves (~1e-7 per row
     # *pair*) are unobservable with small row samples.
-    match_prob = lambda s: min(1.0, 0.25 * s / centre)
+    def match_prob(s):
+        return min(1.0, 0.25 * s / centre)
     for spread in spreads:
         query = _query(spread)
         for probe_cost in probe_costs:

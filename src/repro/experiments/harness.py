@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List
 
 __all__ = ["ExperimentTable", "format_table", "EXPERIMENTS", "run_experiment"]
 

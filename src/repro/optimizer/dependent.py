@@ -18,10 +18,9 @@ freely; they are marginalised by the joint enumeration.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
 from ..core.bayesnet import Assignment, BayesNetError, DiscreteBayesNet
-from ..costmodel.estimates import subset_size
 from ..costmodel.model import CostModel
 from ..plans.nodes import Join, Plan, Scan, Sort
 from ..plans.query import JoinQuery

@@ -213,7 +213,11 @@ def optimize(
 
     cm = cost_model if cost_model is not None else CostModel()
     ctx = context if context is not None else _context_for(query, cm)
-    _last_context = ctx
+    # Published under the cache lock: clear_context_cache() resets this
+    # global concurrently, and an unguarded write could resurrect a
+    # just-cleared context for observers of last_context().
+    with _context_cache_lock:
+        _last_context = ctx
     common = dict(
         cost_model=cm,
         plan_space=plan_space,

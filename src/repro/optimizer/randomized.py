@@ -23,16 +23,16 @@ space.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..costmodel.model import DEFAULT_METHODS, CostModel
+from ..costmodel.model import DEFAULT_METHODS
 from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
 from ..plans.properties import JoinMethod
 from ..plans.query import JoinQuery
-from .result import OptimizationResult, OptimizerStats, PlanChoice
+from .result import PlanChoice
 
 __all__ = ["RandomizedResult", "iterative_improvement", "simulated_annealing"]
 

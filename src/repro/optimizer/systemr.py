@@ -31,7 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.context import OptimizationContext
 from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
-from ..plans.properties import JoinMethod, order_from_join
+from ..plans.properties import order_from_join
 from ..plans.query import JoinQuery, QueryError
 from .costers import Coster
 from .errors import OptimizerConfigError
@@ -288,7 +288,7 @@ class SystemRDP:
         phase = max(0, len(full) - 2)
         needs_order = query.required_order is not None and len(full) > 1
         choices: List[PlanChoice] = []
-        for order, bucket in table[full].items():
+        for _order, bucket in table[full].items():
             for cost, entry in bucket.items():
                 total = cost
                 node: PlanNode = entry.node

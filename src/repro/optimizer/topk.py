@@ -13,9 +13,8 @@ checks against the bound.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = ["TopKList", "merge_top_combinations", "MergeResult"]
 

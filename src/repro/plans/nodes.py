@@ -15,7 +15,7 @@ for deduplication across candidate sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterator, List, Optional, Tuple, Union
 
 from .properties import AccessPath, JoinMethod, order_from_join

@@ -18,7 +18,7 @@ LEC plan is always exactly one plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.context import OptimizationContext
 from ..core.distributions import DiscreteDistribution

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from ..core.algorithm_d import optimize_algorithm_d, plan_expected_cost_multiparam
+from ..core.algorithm_d import optimize_algorithm_d
 from ..core.distributions import DiscreteDistribution
 from ..costmodel.model import CostModel
 from ..plans.query import JoinPredicate, JoinQuery

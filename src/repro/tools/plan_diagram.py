@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import string
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core.lsc import optimize_lsc
 from ..costmodel.model import CostModel

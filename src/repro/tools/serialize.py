@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from ..core.distributions import DiscreteDistribution
 from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort

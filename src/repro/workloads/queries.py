@@ -12,7 +12,7 @@ LEC algorithms (which consume them), keeping comparisons honest.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,0 +1,230 @@
+"""Engine mechanics: registry, suppressions, baseline, CLI, file walking."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisEngine,
+    Baseline,
+    Finding,
+    Rule,
+    register,
+    registered_rules,
+    suppressed_rules_for_line,
+)
+from repro.analysis.__main__ import main as cli_main
+
+BAD_DET = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def check(source: str, rules=None, baseline=None):
+    engine = AnalysisEngine(rules=rules, baseline=baseline)
+    findings = engine.check_source(textwrap.dedent(source), path="probe.py")
+    return engine, findings
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        names = set(registered_rules())
+        assert {"LOCK001", "VER001", "FLT001", "DET001", "DIST001"} <= names
+
+    def test_descriptions_present(self):
+        for name, cls in registered_rules().items():
+            assert cls.description, f"{name} has no description"
+
+    def test_register_rejects_unnamed(self):
+        class Nameless(Rule):
+            pass
+
+        with pytest.raises(ValueError):
+            register(Nameless)
+
+    def test_register_rejects_duplicate_name(self):
+        class Dup(Rule):
+            name = "DET001"
+
+        with pytest.raises(ValueError):
+            register(Dup)
+
+    def test_custom_rule_runs(self):
+        class Banned(Rule):
+            name = "TEST001"
+            description = "no evil()"
+
+            def check(self, module):
+                import ast
+
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.Call) and \
+                            getattr(node.func, "id", "") == "evil":
+                        yield self.finding(module, node, "evil call")
+
+        engine = AnalysisEngine(rules=[Banned()])
+        findings = engine.check_source("evil()\n", path="x.py")
+        assert [f.rule for f in findings] == ["TEST001"]
+
+
+class TestSuppressions:
+    def test_same_line_directive(self):
+        src = BAD_DET.replace(
+            "default_rng()", "default_rng()  # optlint: disable=DET001"
+        )
+        engine, findings = check(src)
+        assert findings == []
+        assert len(engine.suppressed) == 1
+
+    def test_previous_line_comment_directive(self):
+        src = (
+            "import numpy as np\n"
+            "# optlint: disable=DET001\n"
+            "rng = np.random.default_rng()\n"
+        )
+        _, findings = check(src)
+        assert findings == []
+
+    def test_disable_all(self):
+        src = BAD_DET.replace(
+            "default_rng()", "default_rng()  # optlint: disable=all"
+        )
+        _, findings = check(src)
+        assert findings == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = BAD_DET.replace(
+            "default_rng()", "default_rng()  # optlint: disable=FLT001"
+        )
+        _, findings = check(src)
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_multiple_rules_in_one_directive(self):
+        assert suppressed_rules_for_line(
+            ["x = 1  # optlint: disable=FLT001, DET001"], 1
+        ) == {"FLT001", "DET001"}
+
+
+class TestBaseline:
+    def test_baseline_absorbs_known_finding(self, tmp_path):
+        lines = BAD_DET.splitlines()
+        finding = Finding(rule="DET001", path="probe.py", line=2, col=6,
+                          message="whatever")
+        base = Baseline.from_findings([finding], {"probe.py": lines})
+        _, findings = check(BAD_DET, baseline=base)
+        assert findings == []
+
+    def test_baseline_budget_is_per_occurrence(self):
+        # One baselined occurrence must not absorb a second new copy.
+        lines = (BAD_DET + "rng2 = np.random.default_rng()\n").splitlines()
+        finding = Finding(rule="DET001", path="probe.py", line=2, col=6,
+                          message="m")
+        base = Baseline.from_findings([finding], {"probe.py": lines})
+        _, findings = check(
+            BAD_DET + "rng2 = np.random.default_rng()\n", baseline=base
+        )
+        assert len(findings) == 1
+
+    def test_baseline_survives_line_drift(self):
+        # Entries match on content, not line numbers.
+        finding = Finding(rule="DET001", path="probe.py", line=2, col=6,
+                          message="m")
+        base = Baseline.from_findings([finding], {
+            "probe.py": BAD_DET.splitlines()
+        })
+        shifted = "# a new leading comment\n" + BAD_DET
+        _, findings = check(shifted, baseline=base)
+        assert findings == []
+
+    def test_save_load_roundtrip(self, tmp_path):
+        finding = Finding(rule="DET001", path="probe.py", line=2, col=6,
+                          message="m")
+        base = Baseline.from_findings([finding], {
+            "probe.py": BAD_DET.splitlines()
+        })
+        path = tmp_path / "base.json"
+        base.save(str(path))
+        loaded = Baseline.load(str(path))
+        assert len(loaded) == len(base) == 1
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+class TestEngineBehavior:
+    def test_syntax_error_reported_not_raised(self):
+        engine = AnalysisEngine()
+        findings = engine.check_source("def broken(:\n", path="bad.py")
+        assert findings == []
+        assert engine.errors and "bad.py" in engine.errors[0]
+
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import numpy as np\n"
+            "b = np.random.default_rng()\n"
+            "a = np.random.rand(3)\n"
+        )
+        _, findings = check(src)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_finding_to_dict_schema(self):
+        _, findings = check(BAD_DET)
+        doc = findings[0].to_dict()
+        assert set(doc) == {"rule", "path", "line", "col", "message"}
+
+
+class TestCli:
+    def _write_pkg(self, tmp_path, body):
+        target = tmp_path / "mod.py"
+        target.write_text(body)
+        return str(target)
+
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, "x = 1\n")
+        assert cli_main([path, "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, BAD_DET)
+        assert cli_main([path, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "mod.py:2" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, BAD_DET)
+        assert cli_main([path, "--no-baseline", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"][0]["rule"] == "DET001"
+        assert "DET001" in doc["rules"]
+
+    def test_update_then_check_against_baseline(self, tmp_path, capsys,
+                                                monkeypatch):
+        path = self._write_pkg(tmp_path, BAD_DET)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main([path, "--update-baseline"]) == 0
+        assert (tmp_path / ".optlint-baseline.json").exists()
+        capsys.readouterr()
+        # Same debt is absorbed; the gate is green again.
+        assert cli_main([path]) == 0
+
+    def test_rules_subset(self, tmp_path):
+        path = self._write_pkg(tmp_path, BAD_DET)
+        assert cli_main([path, "--no-baseline", "--rules", "FLT001"]) == 0
+        assert cli_main([path, "--no-baseline", "--rules", "DET001"]) == 1
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, "x = 1\n")
+        assert cli_main([path, "--rules", "NOPE999"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert cli_main(["definitely/not/here.py", "--no-baseline"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LOCK001", "VER001", "FLT001", "DET001", "DIST001"):
+            assert name in out

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import optimize_algorithm_c
-from repro.core.distributions import two_point, uniform_over
+from repro.core.distributions import uniform_over
 from repro.core.markov import MarkovParameter, random_walk_chain, sticky_chain
 from repro.costmodel.model import DEFAULT_METHODS, CostModel
 from repro.optimizer.exhaustive import exhaustive_best

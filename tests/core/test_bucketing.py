@@ -97,7 +97,8 @@ class TestLevelSetBuckets:
 
 class TestAdaptive:
     def test_respects_budget_and_mean(self, fine_dist):
-        fn = lambda m: 1.0 if m > 1000 else 3.0
+        def fn(m):
+            return 1.0 if m > 1000 else 3.0
         out = refine_adaptive(fine_dist, [fn], 4)
         assert out.n_buckets <= 4
         assert out.mean() == pytest.approx(fine_dist.mean(), rel=1e-9)
@@ -109,7 +110,8 @@ class TestAdaptive:
         assert out.n_buckets == 1
 
     def test_splits_concentrate_on_discontinuity(self, fine_dist):
-        step = lambda m: 100.0 if m < fine_dist.quantile(0.5) else 0.0
+        def step(m):
+            return 100.0 if m < fine_dist.quantile(0.5) else 0.0
         out = refine_adaptive(fine_dist, [step], 4)
         # The step must be isolated: expectation of the step function
         # under the coarse distribution should be close to the truth.
@@ -128,7 +130,8 @@ class TestAdaptive:
         moderate budget it isolates the step exactly, where equal-width
         still oscillates with the bucket count."""
         cut = fine_dist.quantile(0.8)
-        step = lambda m: 1000.0 if m < cut else 0.0
+        def step(m):
+            return 1000.0 if m < cut else 0.0
         want = fine_dist.expectation(step)
         adaptive_err = abs(
             refine_adaptive(fine_dist, [step], 7).expectation(step) - want
@@ -158,9 +161,9 @@ class TestLevelSetExpectation:
     def test_exact_for_join_formula(self, example_query, fine_dist):
         from repro.core.bucketing import level_set_expectation
         from repro.costmodel import formulas
-        from repro.plans.properties import JoinMethod
 
-        fn = lambda m: formulas.sort_merge_cost(1_000_000, 400_000, m)
+        def fn(m):
+            return formulas.sort_merge_cost(1_000_000, 400_000, m)
         bps = formulas.sort_merge_breakpoints(1_000_000, 400_000)
         got = level_set_expectation(fn, fine_dist, bps)
         want = fine_dist.expectation(fn)

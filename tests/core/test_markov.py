@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.distributions import two_point, uniform_over
 from repro.core.markov import MarkovParameter, random_walk_chain, sticky_chain
 
 

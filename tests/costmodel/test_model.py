@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.distributions import two_point, uniform_over
+from repro.core.distributions import uniform_over
 from repro.core.markov import MarkovParameter, sticky_chain
 from repro.costmodel import formulas
 from repro.costmodel.model import DEFAULT_METHODS, CostModel

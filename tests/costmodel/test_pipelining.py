@@ -4,9 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import optimize_algorithm_c, optimize_lsc
+from repro.core import optimize_algorithm_c
 from repro.core.distributions import DiscreteDistribution, point_mass
-from repro.core.markov import MarkovParameter
 from repro.costmodel import formulas
 from repro.costmodel.estimates import subset_size
 from repro.costmodel.model import DEFAULT_METHODS, CostModel

@@ -14,7 +14,6 @@ import pytest
 
 from repro.core import lsc_at_mean, optimize_algorithm_c
 from repro.core.distributions import DiscreteDistribution
-from repro.costmodel.model import CostModel
 from repro.engine.buffer import BufferPool
 from repro.engine.executor import ExecutionContext, execute_plan
 from repro.plans.query import JoinQuery

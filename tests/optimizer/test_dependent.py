@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import optimize_algorithm_d
 from repro.core.bayesnet import BayesNetError, DiscreteBayesNet
-from repro.core.distributions import DiscreteDistribution
 from repro.costmodel.model import DEFAULT_METHODS, CostModel
 from repro.optimizer.dependent import (
     BayesNetCoster,

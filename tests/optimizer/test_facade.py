@@ -474,3 +474,58 @@ class TestContextCacheThreadSafety:
             t.join()
         cl.join()
         assert not errors
+
+    def test_last_context_published_under_lock(self, small_memory_dist):
+        """LOCK001 regression: _last_context is written under the cache lock.
+
+        An unguarded write could interleave with clear_context_cache()
+        so that a just-cleared context is resurrected for observers of
+        last_context().  Hammer optimize() against a concurrent clearer
+        and check the observable invariant: last_context() is always
+        either None or a live OptimizationContext, and once all
+        optimizers have finished, a final clear really sticks.
+        """
+        import threading
+
+        from repro.core.context import OptimizationContext
+
+        queries = self._queries(4)
+        errors = []
+        stop = threading.Event()
+
+        def optimizer(tid: int):
+            try:
+                for i in range(15):
+                    optimize(
+                        queries[(tid + i) % len(queries)],
+                        "lec",
+                        memory=small_memory_dist,
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def observer():
+            try:
+                while not stop.is_set():
+                    ctx = last_context()
+                    if ctx is not None and not isinstance(
+                        ctx, OptimizationContext
+                    ):  # pragma: no cover - failure path
+                        errors.append(TypeError(type(ctx)))
+                    clear_context_cache()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [threading.Thread(target=optimizer, args=(t,)) for t in range(3)]
+        obs = threading.Thread(target=observer)
+        obs.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        obs.join()
+        assert not errors
+        clear_context_cache()
+        assert last_context() is None

@@ -93,7 +93,6 @@ class TestPlanCosting:
                 "k",
             )
         )
-        inner_pages = 300.0  # rows 4e6*3e6? -> computed; assert relative only
         c_cascade = cm.plan_cost(cascade, shared_chain, m)
         c_hashed = cm.plan_cost(hashed_inner, shared_chain, m)
         # The cascade's top SM join reads its sorted left input once

@@ -5,16 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.distributions import DiscreteDistribution, point_mass, two_point
+from repro.core.distributions import point_mass
 from repro.core.markov import sticky_chain
 from repro.costmodel.model import DEFAULT_METHODS, CostModel
-from repro.optimizer.costers import (
-    ExpectedCoster,
-    MarkovCoster,
-    MultiParamCoster,
-    PointCoster,
-)
-from repro.optimizer.exhaustive import enumerate_left_deep_plans, exhaustive_best
+from repro.optimizer.costers import ExpectedCoster, MarkovCoster, PointCoster
+from repro.optimizer.exhaustive import exhaustive_best
 from repro.optimizer.systemr import SystemRDP
 from repro.plans.nodes import Sort
 from repro.plans.query import JoinPredicate, JoinQuery, QueryError, RelationSpec

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import optimize
-from repro.core.distributions import DiscreteDistribution
 from repro.core.markov import MarkovParameter
 from repro.optimizer.errors import OptimizerConfigError
 from repro.serving.service import (

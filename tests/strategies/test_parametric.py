@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -10,11 +9,7 @@ from repro.core import optimize_algorithm_c, optimize_lsc
 from repro.core.distributions import two_point, uniform_over
 from repro.costmodel.model import CostModel
 from repro.strategies.choice_nodes import ChoicePlan, build_choice_plan
-from repro.strategies.parametric import (
-    ParametricPlanSet,
-    parametric_optimize,
-    precompute_lec_plans,
-)
+from repro.strategies.parametric import parametric_optimize, precompute_lec_plans
 
 
 class TestParametricOptimize:

@@ -6,7 +6,8 @@ import pytest
 
 from repro.core import optimize_algorithm_c
 from repro.costmodel.model import CostModel
-from repro.tools.explain import explain_costs, render_explanation
+from repro.optimizer.facade import clear_context_cache, last_context
+from repro.tools.explain import explain_costs, explain_query, render_explanation
 
 
 class TestExplainCosts:
@@ -42,6 +43,83 @@ class TestExplainCosts:
         text = render_explanation(lines)
         for line in lines:
             assert line.label in text
+
+    def test_render_header_and_alignment(self, example_query, bimodal_memory):
+        res = optimize_algorithm_c(example_query, bimodal_memory)
+        lines = explain_costs(res.plan, example_query, bimodal_memory)
+        rendered = render_explanation(lines).splitlines()
+        header = rendered[0]
+        for column in ("operator", "out pages", "E[cost]", "worst", "share"):
+            assert column in header
+        assert len(rendered) == len(lines) + 1
+        # Child operators are indented under their parent.
+        by_depth = {l.depth for l in lines}
+        if len(by_depth) > 1:
+            assert any(row.startswith("  ") for row in rendered[1:])
+
+    def test_foreign_context_is_ignored(self, example_query, bimodal_memory,
+                                        small_memory_dist):
+        """A context built for a different query must not poison estimates."""
+        import numpy as np
+
+        from repro.core.context import OptimizationContext
+        from repro.workloads.queries import star_query
+
+        other = star_query(3, np.random.default_rng(5))
+        foreign = OptimizationContext(other)
+        assert not foreign.matches(example_query)
+        res = optimize_algorithm_c(example_query, bimodal_memory)
+        with_foreign = explain_costs(
+            res.plan, example_query, bimodal_memory, context=foreign
+        )
+        without = explain_costs(res.plan, example_query, bimodal_memory)
+        assert [l.out_pages for l in with_foreign] == [
+            l.out_pages for l in without
+        ]
+
+
+class TestExplainQuery:
+    def test_result_and_lines_agree(self, example_query, bimodal_memory):
+        result, lines = explain_query(
+            example_query, "lec", memory=bimodal_memory
+        )
+        assert result.plan.signature() == (
+            optimize_algorithm_c(example_query, bimodal_memory).plan.signature()
+        )
+        assert sum(l.share for l in lines) == pytest.approx(1.0)
+        total = sum(l.expected_cost for l in lines)
+        cm = CostModel(count_evaluations=False)
+        assert total == pytest.approx(
+            cm.plan_expected_cost(result.plan, example_query, bimodal_memory)
+        )
+
+    def test_reuses_the_optimizer_context(self, example_query, bimodal_memory):
+        clear_context_cache()
+        explain_query(example_query, "lec", memory=bimodal_memory)
+        ctx = last_context()
+        assert ctx is not None and ctx.matches(example_query)
+
+    def test_point_memory_via_lsc(self, example_query):
+        result, lines = explain_query(example_query, "point", memory=2000.0)
+        assert lines, "no cost lines returned"
+        assert all(
+            l.worst_cost == pytest.approx(l.expected_cost) for l in lines
+        )
+        assert result.objective == pytest.approx(
+            sum(l.expected_cost for l in lines)
+        )
+
+    def test_forwards_facade_kwargs(self, example_query, bimodal_memory):
+        result, _ = explain_query(
+            example_query, "lec", memory=bimodal_memory, top_k=3
+        )
+        assert len(result.candidates) <= 3
+
+    def test_bad_objective_propagates(self, example_query, bimodal_memory):
+        from repro.optimizer.errors import OptimizerConfigError
+
+        with pytest.raises(OptimizerConfigError):
+            explain_query(example_query, "nope", memory=bimodal_memory)
 
 
 class TestDistributionConditioning:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.plans.query import JoinPredicate, JoinQuery, RelationSpec
@@ -99,3 +97,89 @@ class TestSelectivityDiagram:
         text = d.render()
         assert "selectivity of R=S" in text
         assert text.count("|") >= 4  # y-axis gutter
+
+    def test_per_row_boundaries_and_letters(self, three_way):
+        d = memory_selectivity_diagram(
+            three_way, "R=S", 50.0, 50_000.0, 1e-9, 1e-5, width=16, height=8
+        )
+        for row in range(len(d.y_values)):
+            cells = d.grid[row]
+            bounds = d.region_boundaries(row=row)
+            # One boundary per adjacent-cell plan change, at the x of the
+            # right-hand cell.
+            changes = [
+                d.x_values[i]
+                for i in range(1, len(cells))
+                if cells[i] != cells[i - 1]
+            ]
+            assert bounds == changes
+            assert d.letter_at(0, row=row) == cells[0]
+            assert d.letter_at(len(cells) - 1, row=row) == cells[-1]
+
+    def test_n_plans_counts_legend(self, three_way):
+        d = memory_selectivity_diagram(
+            three_way, "R=S", 50.0, 50_000.0, 1e-9, 1e-5, width=16, height=6
+        )
+        assert d.n_plans == len(d.legend)
+        assert d.n_plans == len({c for row in d.grid for c in row})
+
+
+class TestDiagramDataclass:
+    """PlanDiagram behaviour independent of any optimizer run."""
+
+    def _manual(self):
+        return PlanDiagram(
+            x_label="x",
+            x_values=[1.0, 2.0, 4.0],
+            y_label="y",
+            y_values=[0.1, 0.2],
+            grid=[list("AAB"), list("ABB")],
+            legend={"A": "plan-a", "B": "plan-b"},
+        )
+
+    def test_region_boundaries_default_row(self):
+        d = self._manual()
+        assert d.region_boundaries() == [4.0]
+        assert d.region_boundaries(row=1) == [2.0]
+
+    def test_constant_row_has_no_boundaries(self):
+        d = self._manual()
+        d.grid[0] = list("AAA")
+        assert d.region_boundaries(row=0) == []
+
+    def test_str_is_render(self):
+        d = self._manual()
+        assert str(d) == d.render()
+
+    def test_2d_render_rows_top_down(self):
+        # render() prints the last (largest-y) row first.
+        text = self._manual().render().splitlines()
+        assert text[0].endswith("ABB")
+        assert text[1].endswith("AAB")
+
+
+class TestAxisFormatting:
+    """_fmt_axis edge cases, via rendered diagrams (the public surface)."""
+
+    def _render_with_axes(self, xs, ys):
+        n = len(xs)
+        return PlanDiagram(
+            x_label="x",
+            x_values=list(xs),
+            y_label="y",
+            y_values=list(ys),
+            grid=[["A"] * n for _ in ys],
+            legend={"A": "p"},
+        ).render()
+
+    def test_scientific_for_extremes(self):
+        text = self._render_with_axes([1e-7, 1e6], [1e-6, 2e-6])
+        assert "1e-07" in text and "1e+06" in text
+
+    def test_thousands_abbreviated(self):
+        text = self._render_with_axes([1500.0, 99_000.0], [0.5, 0.7])
+        assert "1.5k" in text and "99k" in text
+
+    def test_zero_and_plain_values(self):
+        text = self._render_with_axes([0.0, 42.0], [0.0, 1.0])
+        assert "0" in text and "42" in text

@@ -7,7 +7,7 @@ import math
 
 import pytest
 
-from repro.core.distributions import two_point, uniform_over
+from repro.core.distributions import two_point
 from repro.costmodel.model import CostModel
 from repro.plans.nodes import Join, Plan, Scan, Sort
 from repro.plans.properties import AccessPath, JoinMethod
