@@ -4,13 +4,39 @@ Each experiment benchmark runs the corresponding E* module (quick mode)
 exactly once under pytest-benchmark timing and prints its tables, so
 ``pytest benchmarks/ --benchmark-only -s`` regenerates every "table and
 figure" of the reproduction in one command.
+
+Benchmarks can also publish machine-readable snapshots: anything passed
+to :func:`record_snapshot` is written to ``benchmarks/BENCH_<name>.json``
+at session end (CI uploads these as artifacts, so plan-space cost/quality
+numbers are diffable across commits).
 """
 
 from __future__ import annotations
 
+import json
+import os
+from typing import Dict
+
 import pytest
 
 from repro.experiments.harness import run_experiment
+
+#: snapshot name -> JSON-ready payload, flushed in pytest_sessionfinish.
+_SNAPSHOTS: Dict[str, dict] = {}
+
+
+def record_snapshot(name: str, payload: dict) -> None:
+    """Register a payload to be written to ``BENCH_<name>.json``."""
+    _SNAPSHOTS[name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    here = os.path.dirname(__file__)
+    for name, payload in _SNAPSHOTS.items():
+        path = os.path.join(here, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 
 @pytest.fixture

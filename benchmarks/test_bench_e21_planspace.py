@@ -1,0 +1,20 @@
+"""E21 — the LEC ladder holds in every plan space; bushy never hurts."""
+
+
+def test_e21_planspace(run_quick):
+    ladder, dividend = run_quick("E21")
+
+    exact = [r for r in ladder.rows if r["algorithm"] == "Algorithm C"]
+    assert len(exact) == 3  # one per space
+    for row in exact:
+        assert row["mean_regret_pct"] == 0.0
+        assert row["frac_optimal"] == 1.0
+
+    lsc = [r for r in ladder.rows if r["algorithm"] == "LSC @ mean"]
+    assert any(r["mean_regret_pct"] > 0.0 for r in lsc)
+
+    by_space = {r["plan_space"]: r for r in dividend.rows}
+    assert by_space["left-deep"]["mean_gain_over_left_deep_pct"] == 0.0
+    # Dominance: richer spaces can only gain (up to float noise).
+    assert by_space["bushy"]["mean_gain_over_left_deep_pct"] >= -1e-9
+    assert by_space["zig-zag"]["mean_gain_over_left_deep_pct"] >= -1e-9

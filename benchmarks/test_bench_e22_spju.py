@@ -1,0 +1,17 @@
+"""E22 — SPJU blocks: Algorithm C exact; C10 coincidence transfers."""
+
+
+def test_e22_spju(run_quick):
+    ladder, coincidence = run_quick("E22")
+
+    by_algo = {r["algorithm"]: r for r in ladder.rows}
+    assert by_algo["Algorithm C"]["mean_regret_pct"] == 0.0
+    assert by_algo["Algorithm C"]["frac_optimal"] == 1.0
+
+    by_regime = {r["regime"]: r for r in coincidence.rows}
+    narrow = by_regime["linear (narrow)"]
+    assert narrow["frac_coincide"] == 1.0
+    assert abs(narrow["mean_lsc_excess_pct"]) < 1e-6
+    straddling = by_regime["straddling"]
+    assert straddling["frac_coincide"] < 1.0
+    assert straddling["max_lsc_excess_pct"] > 0.0

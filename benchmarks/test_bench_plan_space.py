@@ -1,0 +1,114 @@
+"""Plan-space benchmark: what bushy enumeration costs and what it buys.
+
+Runs the exact-LEC DP (Algorithm C) over the E3 workload in each plan
+space and snapshots per-space enumeration effort (wall time, subsets,
+formula evaluations, Chen & Schneider prunes) plus the plan-quality
+delta relative to left-deep.  The numbers land in
+``benchmarks/BENCH_plan_space.json`` (written by the conftest session
+hook; uploaded as a CI artifact) so space-enumeration regressions are
+diffable across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import optimize_algorithm_c
+from repro.core.distributions import DiscreteDistribution
+from repro.optimizer.facade import clear_context_cache
+from repro.costmodel import CostModel
+from repro.workloads.queries import random_query
+
+from conftest import record_snapshot
+
+SPACES = ["left-deep", "zig-zag", "bushy"]
+
+
+def _e3_workload(n_queries: int):
+    rng = np.random.default_rng(0)
+    return [
+        random_query(
+            4 + (i % 2), rng, min_pages=300, max_pages=300000,
+            rows_per_page=100,
+        )
+        for i in range(n_queries)
+    ]
+
+
+def test_plan_space_enumeration_snapshot(benchmark):
+    memory = DiscreteDistribution(
+        [200.0, 600.0, 1200.0, 2500.0, 6000.0], [0.15, 0.25, 0.25, 0.2, 0.15]
+    )
+    queries = _e3_workload(8)
+
+    def measure():
+        results = {}
+        for space in SPACES:
+            elapsed = 0.0
+            cost_sum = 0.0
+            subsets = evals = pruned = 0
+            per_query = []
+            for query in queries:
+                clear_context_cache()
+                cm = CostModel()
+                start = time.perf_counter()
+                res = optimize_algorithm_c(
+                    query, memory, cost_model=cm, plan_space=space
+                )
+                elapsed += time.perf_counter() - start
+                per_query.append(res.objective)
+                cost_sum += res.objective
+                subsets += res.stats.subsets_explored
+                evals += res.stats.formula_evaluations
+                pruned += res.stats.partitions_pruned
+            results[space] = {
+                "mean_optimize_seconds": elapsed / len(queries),
+                "mean_expected_cost": cost_sum / len(queries),
+                "expected_costs": per_query,
+                "subsets_explored": subsets,
+                "formula_evaluations": evals,
+                "partitions_pruned": pruned,
+            }
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Richer spaces may only improve the optimum, and the exact DP must
+    # realize that improvement (or tie) on every query.
+    for space in SPACES:
+        for bushy_cost, ld_cost in zip(
+            results[space]["expected_costs"],
+            results["left-deep"]["expected_costs"],
+        ):
+            assert bushy_cost <= ld_cost * (1 + 1e-9)
+
+    for space in SPACES:
+        gains = [
+            100.0 * (1.0 - c / ld)
+            for c, ld in zip(
+                results[space]["expected_costs"],
+                results["left-deep"]["expected_costs"],
+            )
+        ]
+        results[space]["mean_gain_over_left_deep_pct"] = float(np.mean(gains))
+        results[space]["slowdown_vs_left_deep"] = (
+            results[space]["mean_optimize_seconds"]
+            / results["left-deep"]["mean_optimize_seconds"]
+        )
+        print(
+            f"{space:>10}: {results[space]['mean_optimize_seconds'] * 1e3:.1f} ms/query, "
+            f"gain {results[space]['mean_gain_over_left_deep_pct']:.3f}%, "
+            f"{results[space]['partitions_pruned']} partitions pruned"
+        )
+
+    record_snapshot(
+        "plan_space",
+        {
+            "workload": "E3 (8 random 4-5 relation queries, b=5 memory buckets)",
+            "algorithm": "Algorithm C (exact LEC DP)",
+            "n_queries": len(queries),
+            "spaces": results,
+        },
+    )

@@ -70,12 +70,23 @@ from .optimizer import (
     last_context,
     optimize,
 )
+from .optimizer import enumerate_plans
 from .plans import (
+    BUSHY,
+    LEFT_DEEP,
+    SPJU,
+    ZIG_ZAG,
     JoinMethod,
     JoinPredicate,
     JoinQuery,
+    JoinStep,
     Plan,
+    PlanShapeError,
+    PlanSpace,
+    Project,
     RelationSpec,
+    UnionNode,
+    UnionQuery,
     left_deep_plan,
 )
 from .serving import (
@@ -111,6 +122,16 @@ __all__ = [
     "RelationSpec",
     "JoinMethod",
     "Plan",
+    "PlanShapeError",
+    "PlanSpace",
+    "LEFT_DEEP",
+    "ZIG_ZAG",
+    "BUSHY",
+    "SPJU",
+    "JoinStep",
+    "Project",
+    "UnionNode",
+    "UnionQuery",
     "left_deep_plan",
     "CostModel",
     "Database",
@@ -127,6 +148,7 @@ __all__ = [
     "optimize_algorithm_d",
     "plan_expected_cost_multiparam",
     "enumerate_left_deep_plans",
+    "enumerate_plans",
     "exhaustive_best",
     "choose_by_utility",
     "plan_cost_distribution",

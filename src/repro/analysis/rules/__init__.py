@@ -14,6 +14,8 @@ rule              invariant
                   experiments thread explicit seeded Generators
 ``DIST001``       ``DiscreteDistribution`` internals are private;
                   construction goes through normalizing constructors
+``PLAN001``       ``Join`` construction / plan enumeration outside
+                  ``repro/plans`` goes through the ``PlanSpace`` API
 ================  =====================================================
 
 Adding a rule: create a module here with a :class:`~repro.analysis.
@@ -28,6 +30,7 @@ from .det001 import DeterminismRule
 from .dist001 import DistributionEncapsulationRule
 from .flt001 import FloatEqualityRule
 from .lock001 import LockDisciplineRule
+from .plan001 import PlanSpaceDisciplineRule
 from .ver001 import VersionFenceRule
 
 __all__ = [
@@ -35,5 +38,6 @@ __all__ = [
     "DistributionEncapsulationRule",
     "FloatEqualityRule",
     "LockDisciplineRule",
+    "PlanSpaceDisciplineRule",
     "VersionFenceRule",
 ]

@@ -1,0 +1,115 @@
+"""PLAN001 — plan construction goes through the PlanSpace layer.
+
+The plan-space refactor made tree shape a first-class, centrally policed
+property: :meth:`~repro.plans.space.PlanSpace.join` is the only
+constructor that checks a :class:`~repro.plans.nodes.Join` against the
+space's shape rule (left-deep / zig-zag / bushy), and
+:meth:`~repro.plans.space.PlanSpace.partitions` is the only generator of
+admissible subset splits.  A module that hand-builds ``Join`` nodes or
+hand-rolls an ``enumerate_*_plans`` walker silently re-encodes the shape
+rule — and drifts the moment a new space is added.
+
+Flagged outside ``repro/plans/`` (and outside tests):
+
+* ``Join(...)`` constructor calls in a module that never references
+  ``PlanSpace`` — such a module cannot be routing shape decisions
+  through the layer;
+* ``def enumerate_*_plans`` functions that neither accept a
+  ``space``/``plan_space`` parameter nor reference ``PlanSpace`` in
+  their body — a shape-blind enumerator frozen to one tree shape.
+
+Legitimate exceptions (plan *decoding* in the serializer, the legacy
+left-deep permutation enumerator kept as an independent parity oracle)
+carry an inline ``# optlint: disable=PLAN001`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterator
+
+from ..engine import Finding, ModuleInfo, Rule, register
+from ._util import dotted_name
+
+__all__ = ["PlanSpaceDisciplineRule"]
+
+#: enumerator naming convention policed by the second check.
+_ENUMERATOR = re.compile(r"^enumerate_\w*plans$")
+
+#: parameter names that mark an enumerator as space-parameterized.
+_SPACE_PARAMS = {"space", "plan_space"}
+
+
+def _in_plans_package(module: ModuleInfo) -> bool:
+    """True for modules inside ``repro/plans/`` — the defining layer."""
+    parts = module.path.replace(os.sep, "/").split("/")
+    return "plans" in parts
+
+
+def _references_planspace(tree: ast.AST) -> bool:
+    """Does this (sub)tree mention ``PlanSpace`` at all?"""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == "PlanSpace":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "PlanSpace":
+            return True
+        if isinstance(node, ast.ImportFrom) and any(
+            alias.name == "PlanSpace" for alias in node.names
+        ):
+            return True
+    return False
+
+
+def _space_parameterized(func: ast.AST) -> bool:
+    """Does the function take a ``space``/``plan_space`` parameter?"""
+    args = func.args
+    every = (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    )
+    return any(a.arg in _SPACE_PARAMS for a in every)
+
+
+@register
+class PlanSpaceDisciplineRule(Rule):
+    name = "PLAN001"
+    description = (
+        "Join construction and plan enumeration outside repro/plans/ "
+        "must go through the PlanSpace API"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test or _in_plans_package(module):
+            return
+        module_uses_space = _references_planspace(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and not module_uses_space:
+                name = dotted_name(node.func)
+                if name is not None and (
+                    name == "Join" or name.endswith(".Join")
+                ):
+                    yield self.finding(
+                        module, node,
+                        "Join node constructed outside the plans layer in a "
+                        "module that never references PlanSpace; build join "
+                        "trees via PlanSpace.join() so the space's shape "
+                        "rule is enforced",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _ENUMERATOR.match(node.name):
+                    continue
+                if _space_parameterized(node):
+                    continue
+                if _references_planspace(node):
+                    continue
+                yield self.finding(
+                    module, node,
+                    f"enumerator {node.name!r} is frozen to one tree shape; "
+                    f"accept a space/plan_space parameter (or drive it with "
+                    f"PlanSpace.partitions) so all shapes share one walker",
+                )

@@ -29,9 +29,11 @@ from ..costmodel.model import CostModel
 from ..optimizer.costers import MultiParamCoster
 from ..optimizer.result import OptimizationResult
 from ..optimizer.systemr import SystemRDP
-from ..plans.nodes import Join, Plan, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
+from ..plans.nodes import Union as UnionNode
 from ..plans.properties import JoinMethod
 from ..plans.query import JoinQuery
+from ..plans.spju import UnionQuery
 from .context import OptimizationContext
 from .distributions import DiscreteDistribution
 
@@ -100,10 +102,68 @@ def plan_expected_cost_multiparam(
     def size_dist(rels) -> DiscreteDistribution:
         return context.size_distribution(frozenset(rels), max_buckets=max_buckets)
 
+    # Output-write exemptions, mirroring the DP invariant: the block root
+    # never pays its own write, and that exemption streams down through
+    # projections and through a union root to every arm (ALL arms stream;
+    # DISTINCT arm writes are charged inside the union handler instead,
+    # at their projected width).
+    exempt = set()
+
+    def mark_exempt(node: PlanNode) -> None:
+        exempt.add(id(node))
+        if isinstance(node, Project):
+            mark_exempt(node.child)
+        elif isinstance(node, UnionNode):
+            for child in node.inputs:
+                mark_exempt(child)
+
+    mark_exempt(plan.root)
+
+    def ratio_of(node: Project) -> float:
+        if isinstance(query, UnionQuery):
+            return query.projection_ratio_of(node.relations())
+        return getattr(query, "projection_ratio", 1.0)
+
+    def union_cost(node: UnionNode) -> float:
+        # Mirrors MultiParamCoster.union_overhead: projected arm writes
+        # plus the expected dedup sort over the clamped convolution.
+        if not node.distinct:
+            return 0.0
+        total = 0.0
+        arm_dists = []
+        lo_sum = 0.0
+        hi_sum = 0.0
+        for child in node.inputs:
+            stripped = child
+            ratio = 1.0
+            while isinstance(stripped, Project):
+                ratio *= ratio_of(stripped)
+                stripped = stripped.child
+            rels = frozenset(child.relations())
+            dist = size_dist(rels)
+            lo, hi = context.subset_bounds(rels)
+            if ratio < 1.0:
+                dist = dist.scale(ratio).clip(lo=1.0)
+                lo, hi = max(1.0, lo * ratio), max(1.0, hi * ratio)
+            if isinstance(stripped, (Join, Sort)):
+                total += dist.mean()
+            arm_dists.append(dist)
+            lo_sum += lo
+            hi_sum += hi
+        acc = arm_dists[0]
+        for nxt in arm_dists[1:]:
+            acc = context.rebucket(context.convolve(acc, nxt), max_buckets)
+        acc = acc.clip(lo=lo_sum * (1.0 - 1e-9), hi=hi_sum * (1.0 + 1e-9))
+        return total + expected_external_sort_cost(acc, memory, cm.sort_cost)
+
     total = 0.0
     for node in plan.nodes():
         if isinstance(node, Scan):
             total += cm.scan_node_cost(node, query)
+        elif isinstance(node, Project):
+            pass  # projection streams: pure width reduction
+        elif isinstance(node, UnionNode):
+            total += union_cost(node)
         elif isinstance(node, Sort):
             total += expected_external_sort_cost(
                 size_dist(node.child.relations()), memory, cm.sort_cost
@@ -131,6 +191,6 @@ def plan_expected_cost_multiparam(
                 total += expected_join_cost_naive(
                     cm.join_cost, node.method, ld, rd, memory
                 )
-            if node is not plan.root:
+            if id(node) not in exempt:
                 total += size_dist(node.relations()).mean()
     return total

@@ -49,6 +49,7 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tupl
 from ..costmodel.estimates import (
     SizeEstimate,
     subset_size,
+    subset_size_bounds,
     subset_size_distribution,
 )
 from ..costmodel.model import CostModel
@@ -113,7 +114,24 @@ def query_fingerprint(query) -> Tuple:
         )
         for p in query.predicates
     )
-    return (relations, predicates, query.required_order, query.rows_per_page)
+    base = (
+        relations,
+        predicates,
+        query.required_order,
+        query.rows_per_page,
+        float(getattr(query, "projection_ratio", 1.0)),
+    )
+    arms = getattr(query, "arms", None)
+    if arms is not None:  # SPJU block: arm structure changes plan shapes
+        arm_digest = tuple(
+            (
+                tuple(r.name for r in arm.relations),
+                float(arm.projection_ratio),
+            )
+            for arm in arms
+        )
+        return base + ("union", arm_digest, bool(query.distinct))
+    return base
 
 
 class OptimizationContext:
@@ -146,12 +164,14 @@ class OptimizationContext:
         self.fingerprint: Tuple = query_fingerprint(query)
 
         self._sizes: Dict[FrozenSet[str], SizeEstimate] = {}
+        self._bounds: Dict[FrozenSet[str], Tuple[float, float]] = {}
         self._size_dists: Dict[Tuple[FrozenSet[str], int], DiscreteDistribution] = {}
         self._dist_ops: Dict[Tuple, DiscreteDistribution] = {}
         self._survival: Dict[DiscreteDistribution, _SurvivalTable] = {}
         self._cost_memo: Dict[Hashable, float] = {}
         self._stats: Dict[str, CacheStats] = {
             "subset_sizes": CacheStats(),
+            "subset_bounds": CacheStats(),
             "size_distributions": CacheStats(),
             "dist_ops": CacheStats(),
             "survival_tables": CacheStats(),
@@ -194,6 +214,24 @@ class OptimizationContext:
     def subset_pages(self, rels: Iterable[str]) -> float:
         """Memoized point page count for the join over ``rels``."""
         return self.subset_size(rels).pages
+
+    def subset_bounds(self, rels: Iterable[str]) -> Tuple[float, float]:
+        """Memoized analytic ``(lo, hi)`` page bounds for ``rels``.
+
+        The Chen & Schneider-style intermediate-size bounds (see
+        :func:`repro.costmodel.estimates.subset_size_bounds`), used to
+        clamp propagated distributions and to prune the bushy DP.
+        """
+        key = frozenset(rels)
+        stats = self._stats["subset_bounds"]
+        cached = self._bounds.get(key)
+        if cached is not None:
+            stats.hits += 1
+            return cached
+        stats.misses += 1
+        bounds = subset_size_bounds(key, self.query)
+        self._bounds[key] = bounds
+        return bounds
 
     def size_distribution(
         self, rels: Iterable[str], max_buckets: Optional[int] = None
@@ -326,6 +364,7 @@ class OptimizationContext:
     def clear(self) -> None:
         """Drop every cached value (counters are reset too)."""
         self._sizes.clear()
+        self._bounds.clear()
         self._size_dists.clear()
         self._dist_ops.clear()
         self._survival.clear()
@@ -337,6 +376,7 @@ class OptimizationContext:
     def __repr__(self) -> str:
         entries = (
             len(self._sizes)
+            + len(self._bounds)
             + len(self._size_dists)
             + len(self._dist_ops)
             + len(self._survival)

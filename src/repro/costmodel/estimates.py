@@ -20,21 +20,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet
 
+from typing import Tuple
+
 from ..core.distributions import (
     DiscreteDistribution,
     independent_product,
     point_mass,
 )
-from ..plans.nodes import Join, Plan, PlanNode
+from ..plans.nodes import Plan, PlanNode, Project
+from ..plans.nodes import Union as UnionNode
 from ..plans.query import JoinQuery
+from ..plans.spju import UnionQuery
 
 __all__ = [
     "SizeEstimate",
     "subset_size",
+    "subset_size_bounds",
     "subset_size_distribution",
+    "project_pages",
     "annotate_sizes",
     "node_size",
 ]
+
+#: Relative slack when clamping a propagated distribution to its analytic
+#: bounds: the bounds multiply the same factors in a different order than
+#: the fold, so exact comparison would clip float-rounding ghosts.
+_BOUND_SLACK = 1e-9
 
 
 class _PlainDistributionOps:
@@ -94,6 +105,60 @@ def subset_size(rels: FrozenSet[str], query: JoinQuery) -> SizeEstimate:
     return SizeEstimate(rows=rows, pages=pages)
 
 
+def project_pages(pages: float, ratio: float) -> float:
+    """Pages of a projected result: width shrinks, rows don't."""
+    return max(1.0, pages * ratio)
+
+
+def subset_size_bounds(
+    rels: FrozenSet[str], query: JoinQuery
+) -> Tuple[float, float]:
+    """Analytic ``(lo, hi)`` page bounds for the join over ``rels``.
+
+    The Chen & Schneider-style bound for SPJ(U) intermediates: with every
+    uncertain factor (relation sizes, selectivities) confined to its
+    support range, the result's pages lie within the product of the
+    factor extremes.  Two uses downstream:
+
+    * **clamping** C6-rebucketed size distributions (rebucketing is
+      mean-preserving but can, in principle, smear mass outside the
+      attainable range — the clip keeps arm/union distributions sound);
+    * **pruning** the enlarged (bushy) DP: every join method reads both
+      inputs at least once, so ``lo(L) + lo(R)`` lower-bounds any join
+      step over the partition ``(L, R)``.
+    """
+    rels = frozenset(rels)
+    if not rels:
+        raise ValueError("subset must be non-empty")
+    if len(rels) == 1:
+        spec = query.relation(next(iter(rels)))
+        dist = spec.pages_distribution()
+        lo, hi = dist.min(), dist.max()
+        if spec.filter_selectivity < 1.0:
+            lo *= spec.filter_selectivity
+            hi *= spec.filter_selectivity
+        return max(1.0, lo), max(1.0, hi)
+    preds = query.predicates_within(rels)
+    if len(rels) == 2 and len(preds) == 1 and preds[0].result_pages_override is not None:
+        pages = float(preds[0].result_pages_override)
+        return pages, pages
+    lo = hi = float(query.rows_per_page) ** (len(rels) - 1)
+    for name in sorted(rels):
+        dist = query.relation(name).pages_distribution()
+        lo *= dist.min()
+        hi *= dist.max()
+    for p in preds:
+        dist = p.selectivity_distribution()
+        lo *= dist.min()
+        hi *= dist.max()
+    for name in rels:
+        fsel = query.relation(name).filter_selectivity
+        if fsel < 1.0:
+            lo *= fsel
+            hi *= fsel
+    return max(1.0, lo), max(1.0, hi)
+
+
 def subset_size_distribution(
     rels: FrozenSet[str],
     query: JoinQuery,
@@ -143,11 +208,41 @@ def subset_size_distribution(
         fsel = query.relation(name).filter_selectivity
         if fsel < 1.0:
             acc = acc.scale(fsel)
+    # Clamp to the analytic Chen & Schneider bounds: intermediate
+    # rebucketing must not leave the attainable range (with float slack,
+    # so an in-range support is passed through bit-identically).
+    lo_b, hi_b = subset_size_bounds(rels, query)
+    acc = acc.clip(lo=lo_b * (1.0 - _BOUND_SLACK), hi=hi_b * (1.0 + _BOUND_SLACK))
     return ops.rebucket(acc.clip(lo=1.0), max_buckets)
 
 
+def _projection_ratio_for(node: Project, query: JoinQuery) -> float:
+    """The projection ratio governing ``node``'s output width."""
+    if isinstance(query, UnionQuery):
+        return query.projection_ratio_of(node.relations())
+    return getattr(query, "projection_ratio", 1.0)
+
+
 def node_size(node: PlanNode, query: JoinQuery) -> SizeEstimate:
-    """Point size estimate of a plan node's output."""
+    """Point size estimate of a plan node's output.
+
+    ``Project`` keeps the child's rows but narrows pages by the owning
+    block's projection ratio; ``Union`` sums its arms (an upper bound
+    under DISTINCT, exact under ALL); everything else is the classic
+    subset estimate.
+    """
+    if isinstance(node, Project):
+        child = node_size(node.child, query)
+        ratio = _projection_ratio_for(node, query)
+        return SizeEstimate(
+            rows=child.rows, pages=project_pages(child.pages, ratio)
+        )
+    if isinstance(node, UnionNode):
+        sizes = [node_size(child, query) for child in node.inputs]
+        return SizeEstimate(
+            rows=sum(s.rows for s in sizes),
+            pages=sum(s.pages for s in sizes),
+        )
     return subset_size(node.relations(), query)
 
 

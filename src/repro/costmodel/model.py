@@ -26,7 +26,8 @@ from typing import List, Sequence, Tuple
 
 from ..core.distributions import DiscreteDistribution
 from ..core.markov import MarkovParameter
-from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
+from ..plans.nodes import Union as UnionNode
 from ..plans.properties import AccessPath, JoinMethod
 from ..plans.query import JoinQuery
 from . import formulas
@@ -201,6 +202,11 @@ class CostModel:
                 "pipelined joins merge execution phases; the per-phase "
                 "Markov objective does not support them"
             )
+        if any(isinstance(n, UnionNode) for n in plan.nodes()):
+            raise ValueError(
+                "union plans have no canonical phase order; the per-phase "
+                "Markov objective does not support them"
+            )
         total = 0.0
         for phase in range(plan.n_phases):
             marginal = chain.marginal(phase)
@@ -249,10 +255,14 @@ class CostModel:
     ) -> float:
         if isinstance(node, Scan):
             return self.scan_node_cost(node, query)
+        if isinstance(node, Project):
+            return 0.0  # projection streams: pure width reduction
+        if isinstance(node, UnionNode):
+            return self._union_cost(node, query, memory)
         if isinstance(node, Sort):
             child_pages = node_size(node.child, query).pages
             cost = self.sort_cost(child_pages, memory)
-            if isinstance(node.child, Join):
+            if isinstance(_strip_projects(node.child), Join):
                 cost += child_pages  # the sort re-reads a materialised temp
             return cost
         assert isinstance(node, Join)
@@ -276,18 +286,47 @@ class CostModel:
         """Materialisation writes this join pays for its join-children.
 
         The outer (left) input of a pipelined nested-loop join streams
-        from its producer and is never written.
+        from its producer and is never written.  Projections are
+        transparent here: a projected join output is still materialised
+        (at its projected width, via ``node_size``).
         """
         total = 0.0
         pipeline_left = node.method in self.pipelined_methods
-        if isinstance(node.left, Join) and not pipeline_left:
+        if isinstance(_strip_projects(node.left), Join) and not pipeline_left:
             total += node_size(node.left, query).pages
-        if isinstance(node.right, Join):
+        if isinstance(_strip_projects(node.right), Join):
             total += node_size(node.right, query).pages
         return total
+
+    def _union_cost(self, node: UnionNode, query: JoinQuery, memory: float) -> float:
+        """Cost charged at a union node over its already-costed arms.
+
+        UNION ALL streams: arms feed the output directly, the node is
+        free, and no arm output is materialised.  DISTINCT must
+        de-duplicate: every arm whose (projection-stripped) root is a
+        join is written out at its projected width, then one external
+        sort runs over the combined pages.
+        """
+        if not node.distinct:
+            return 0.0
+        total = 0.0
+        total_pages = 0.0
+        for child in node.inputs:
+            pages = node_size(child, query).pages
+            if isinstance(_strip_projects(child), (Join, Sort)):
+                total += pages  # materialise the arm before deduplication
+            total_pages += pages
+        return total + self.sort_cost(total_pages, memory)
 
     def _cost_with_memory(self, plan: Plan, query: JoinQuery, memory_at) -> float:
         total = 0.0
         for node, phase in self._phases(plan):
             total += self._node_cost(node, plan, query, memory_at(phase))
         return total
+
+
+def _strip_projects(node: PlanNode) -> PlanNode:
+    """Peel streaming projection wrappers off a node."""
+    while isinstance(node, Project):
+        node = node.child
+    return node

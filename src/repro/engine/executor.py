@@ -24,7 +24,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
+from ..plans.nodes import Union as UnionNode
 from ..plans.properties import JoinMethod
 from .buffer import BufferPool, IOCounters
 from .pages import PagedFile, Row, Schema, StorageManager
@@ -406,6 +407,38 @@ def _execute(
         if child.name.startswith("__temp"):
             ctx.drop_temp(child)
         return result
+    if isinstance(node, Project):
+        # Streaming projection: this engine stores fixed-width rows, so
+        # the width reduction is a no-op at the tuple level — pass the
+        # child through (the cost model already prices the narrower
+        # pages; see estimates.project_pages).
+        return _execute(node.child, ctx, bindings, filters)
+    if isinstance(node, UnionNode):
+        results = [
+            _execute(child, ctx, bindings, filters) for child in node.inputs
+        ]
+        arity = len(results[0].schema.fields)
+        for r in results[1:]:
+            if len(r.schema.fields) != arity:
+                raise ExecutionError(
+                    "union arms disagree on arity: "
+                    f"{arity} vs {len(r.schema.fields)} fields"
+                )
+        out = ctx.new_temp(results[0].schema)
+        seen = set() if node.distinct else None
+        for r in results:
+            for row in _read_rows(ctx, r):
+                if seen is not None:
+                    key = tuple(row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                out.append_row(row)
+        ctx.charge_output(out)
+        for r in results:
+            if r.name.startswith("__temp"):
+                ctx.drop_temp(r)
+        return out
     assert isinstance(node, Join)
     left = _execute(node.left, ctx, bindings, filters)
     right = _execute(node.right, ctx, bindings, filters)

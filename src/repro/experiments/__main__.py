@@ -25,7 +25,7 @@ def main(argv=None) -> int:
         "experiments",
         nargs="*",
         default=[],
-        help="experiment ids (E1..E20); default: all",
+        help="experiment ids (E1..E22); default: all",
     )
     parser.add_argument("--quick", action="store_true", help="reduced sizes")
     parser.add_argument("--seed", type=int, default=0)

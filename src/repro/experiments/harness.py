@@ -2,7 +2,7 @@
 
 Each experiment module exposes ``run(quick=False, seed=0)`` returning one
 or more :class:`ExperimentTable` objects — the library's stand-in for the
-paper's tables and figures (see DESIGN.md for the E1..E20 index).  The
+paper's tables and figures (see DESIGN.md for the E1..E22 index).  The
 registry lets both the CLI (``python -m repro.experiments``) and the
 pytest-benchmark harness drive experiments uniformly.
 """
@@ -101,6 +101,8 @@ EXPERIMENTS: Dict[str, str] = {
     "E18": "repro.experiments.exp_e18_misspecification",
     "E19": "repro.experiments.exp_e19_randomized",
     "E20": "repro.experiments.exp_e20_feedback",
+    "E21": "repro.experiments.exp_e21_planspace",
+    "E22": "repro.experiments.exp_e22_spju",
 }
 
 

@@ -13,7 +13,7 @@ from .dependent import (
     optimize_dependent,
     plan_expected_cost_dependent,
 )
-from .exhaustive import enumerate_left_deep_plans, exhaustive_best
+from .exhaustive import enumerate_left_deep_plans, enumerate_plans, exhaustive_best
 from .facade import clear_context_cache, last_context, optimize
 from .randomized import (
     RandomizedResult,
@@ -43,6 +43,7 @@ __all__ = [
     "MergeResult",
     "merge_top_combinations",
     "enumerate_left_deep_plans",
+    "enumerate_plans",
     "exhaustive_best",
     "BayesNetCoster",
     "optimize_dependent",

@@ -48,6 +48,7 @@ from ..core.expected_cost import (
     expected_join_cost_naive,
 )
 from ..core.markov import MarkovParameter
+from ..costmodel.estimates import project_pages
 from ..costmodel.model import CostModel
 from ..plans.nodes import Scan
 from ..plans.properties import JoinMethod
@@ -66,7 +67,15 @@ class Coster(abc.ABC):
     """Objective-specific costing of DP steps.
 
     Call :meth:`bind` with the query before use; the engine does this.
+
+    ``requires_ordered_phases`` declares whether the objective is only
+    well-defined when every candidate plan schedules its joins in the
+    canonical phases ``0..s-2`` per subset — the engine matches it
+    against :attr:`~repro.plans.space.PlanSpace.ordered_phases`.
     """
+
+    #: Phase-indexed objectives (Markov) need canonical phase numbering.
+    requires_ordered_phases: bool = False
 
     def __init__(self, cost_model: Optional[CostModel] = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -163,8 +172,52 @@ class Coster(abc.ABC):
         return self.context.step_cost(key, compute)
 
     def supports_bushy(self) -> bool:
-        """Whether this objective is well-defined for bushy plans."""
-        return True
+        """Whether this objective is well-defined for bushy plans.
+
+        Compatibility wrapper: the capability now lives on
+        :class:`~repro.plans.space.PlanSpace` (``ordered_phases``) matched
+        against :attr:`requires_ordered_phases`.
+        """
+        return not self.requires_ordered_phases
+
+    def pages_lower_bound(self, rels: FrozenSet[str]) -> float:
+        """A lower bound on the page count this coster charges for ``rels``.
+
+        Used by the DP's Chen & Schneider partition prune: every join
+        method reads both inputs at least once, so two input lower bounds
+        sum to a sound lower bound on any join step.  Point-valued
+        costers return the exact page count; distributional costers the
+        distribution's smallest support point.
+        """
+        return self._pages(rels)
+
+    # -- union (SPJU) hooks ---------------------------------------------
+
+    def union_overhead(self, arms, distinct: bool) -> float:
+        """Objective value charged at a union root over costed arms.
+
+        ``arms`` is a sequence of ``(rels, projection_ratio,
+        materialised)`` triples, one per arm.  UNION ALL streams and is
+        free; DISTINCT charges each materialised arm's projected write
+        plus one external sort over the combined projected pages —
+        mirroring :meth:`repro.costmodel.model.CostModel._union_cost`.
+        """
+        if not distinct:
+            return 0.0
+        total = 0.0
+        total_pages = 0.0
+        for rels, ratio, materialised in arms:
+            pages = project_pages(self._pages(rels), ratio)
+            if materialised:
+                total += pages
+            total_pages += pages
+        return total + self._union_sort_cost(total_pages)
+
+    def _union_sort_cost(self, pages: float) -> float:
+        """Objective value of the dedup sort over ``pages``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support distinct unions"
+        )
 
 
 class PointCoster(Coster):
@@ -211,6 +264,9 @@ class PointCoster(Coster):
         return self._step(
             key, lambda: self.cost_model.sort_cost(self._pages(rels), self.memory)
         )
+
+    def _union_sort_cost(self, pages):
+        return self.cost_model.sort_cost(pages, self.memory)
 
 
 class ExpectedCoster(Coster):
@@ -261,14 +317,22 @@ class ExpectedCoster(Coster):
 
         return self._step(key, compute)
 
+    def _union_sort_cost(self, pages):
+        return self.memory.expectation(
+            lambda m: self.cost_model.sort_cost(pages, m)
+        )
+
 
 class MarkovCoster(Coster):
     """Dynamic memory: phase ``k`` costed under the chain's ``marginal(k)``.
 
-    Exact for left-deep plans because every candidate for a subset of size
-    ``s`` schedules its joins in the same phases ``0..s-2`` and
-    expectation distributes over the phase-cost sum (Theorem 3.4).
+    Exact for ordered-phase plan spaces (left-deep, zig-zag) because
+    every candidate for a subset of size ``s`` schedules its joins in the
+    same phases ``0..s-2`` and expectation distributes over the
+    phase-cost sum (Theorem 3.4).
     """
+
+    requires_ordered_phases = True
 
     def __init__(
         self,
@@ -323,10 +387,6 @@ class MarkovCoster(Coster):
             )
 
         return self._step(key, compute)
-
-    def supports_bushy(self) -> bool:
-        """Bushy trees have no canonical phase order; restrict to left-deep."""
-        return False
 
 
 class MultiParamCoster(Coster):
@@ -420,4 +480,45 @@ class MultiParamCoster(Coster):
             lambda: expected_external_sort_cost(
                 self.size_distribution(rels), self.memory, self.cost_model.sort_cost
             ),
+        )
+
+    def pages_lower_bound(self, rels):
+        """Smallest support point of the subset's (clamped) distribution."""
+        return self.size_distribution(rels).min()
+
+    def union_overhead(self, arms, distinct):
+        """Distributional DISTINCT overhead: writes + expected dedup sort.
+
+        Arm size distributions are scaled by their projection ratios and
+        the convolved union size is clamped to the summed Chen &
+        Schneider bounds before the expected external-sort cost is taken
+        — the C6 rebucketing of the convolution stays inside the
+        provable range.
+        """
+        if not distinct:
+            return 0.0
+        assert self.context is not None, "coster used before bind()"
+        total = 0.0
+        arm_dists = []
+        lo_sum = 0.0
+        hi_sum = 0.0
+        for rels, ratio, materialised in arms:
+            dist = self.size_distribution(rels)
+            lo, hi = self.context.subset_bounds(rels)
+            if ratio < 1.0:
+                dist = dist.scale(ratio).clip(lo=1.0)
+                lo, hi = max(1.0, lo * ratio), max(1.0, hi * ratio)
+            if materialised:
+                total += dist.mean()
+            arm_dists.append(dist)
+            lo_sum += lo
+            hi_sum += hi
+        acc = arm_dists[0]
+        for nxt in arm_dists[1:]:
+            acc = self.context.rebucket(
+                self.context.convolve(acc, nxt), self.max_buckets
+            )
+        acc = acc.clip(lo=lo_sum * (1.0 - 1e-9), hi=hi_sum * (1.0 + 1e-9))
+        return total + expected_external_sort_cost(
+            acc, self.memory, self.cost_model.sort_cost
         )

@@ -13,14 +13,18 @@ the two is meaningful evidence of correctness.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
-from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
+from ..plans.nodes import Union as UnionNode
 from ..plans.properties import AccessPath, JoinMethod
 from ..plans.query import JoinQuery
+from ..plans.space import LEFT_DEEP, PlanSpace
+from ..plans.spju import UnionQuery
 from .result import PlanChoice
 
 __all__ = [
+    "enumerate_plans",
     "enumerate_left_deep_plans",
     "exhaustive_best",
     "MAX_EXHAUSTIVE_RELATIONS",
@@ -30,7 +34,10 @@ __all__ = [
 MAX_EXHAUSTIVE_RELATIONS = 8
 
 
-def enumerate_left_deep_plans(
+# Deliberately shape-frozen: the permutation enumerator is kept as an
+# independent left-deep oracle (different code path from PlanSpace's
+# partition walk), so agreement with the DP stays meaningful evidence.
+def enumerate_left_deep_plans(  # optlint: disable=PLAN001
     query: JoinQuery,
     methods: Sequence[JoinMethod],
     allow_cross_products: bool = False,
@@ -80,6 +87,119 @@ def enumerate_left_deep_plans(
                 yield Plan(node)
 
 
+def enumerate_plans(
+    query: JoinQuery,
+    methods: Sequence[JoinMethod],
+    space=LEFT_DEEP,
+    allow_cross_products: bool = False,
+    enforce_order: bool = True,
+) -> Iterator[Plan]:
+    """Yield every plan for ``query`` inside the given plan space.
+
+    The shape-generic counterpart of :func:`enumerate_left_deep_plans`:
+    subsets are split recursively with :meth:`PlanSpace.partitions`, so
+    left-deep, zig-zag and bushy ground truth all come from this one
+    enumerator.  Union queries (with a union-capable space) yield the
+    cross product of per-arm enumerations under a single Union root.
+    Block roots gain an enforcer sort and a streaming projection exactly
+    as the DP emits them, so objective values are directly comparable.
+    """
+    space = PlanSpace.parse(space)
+    names = query.relation_names()
+    if len(names) > MAX_EXHAUSTIVE_RELATIONS:
+        raise ValueError(
+            f"refusing to enumerate {len(names)} relations exhaustively "
+            f"(cap is {MAX_EXHAUSTIVE_RELATIONS})"
+        )
+    scan_choices = {name: _access_paths(name, query) for name in names}
+
+    if isinstance(query, UnionQuery):
+        if not space.supports_union:
+            raise ValueError(
+                f"query is a union block but plan space {space.key!r} does "
+                "not admit union plans; use 'spju' (or a '+union' space)"
+            )
+        arm_roots: List[List[PlanNode]] = []
+        for arm in query.arms:
+            subset = frozenset(r.name for r in arm.relations)
+            roots = list(
+                _subset_trees(
+                    subset, query, space, scan_choices, methods,
+                    allow_cross_products,
+                )
+            )
+            if arm.projection_ratio < 1.0:
+                roots = [Project(child=r) for r in roots]
+            arm_roots.append(roots)
+        for combo in itertools.product(*arm_roots):
+            yield Plan(UnionNode(inputs=tuple(combo), distinct=query.distinct))
+        return
+
+    full = frozenset(names)
+    project = getattr(query, "projection_ratio", 1.0) < 1.0
+    for node in _subset_trees(
+        full, query, space, scan_choices, methods, allow_cross_products
+    ):
+        if (
+            enforce_order
+            and query.required_order is not None
+            and len(names) > 1
+            and node.order != query.required_order
+        ):
+            node = Sort(child=node, sort_order=query.required_order)
+        if project:
+            node = Project(child=node)
+        yield Plan(node)
+
+
+def _subset_trees(
+    subset: FrozenSet[str],
+    query: JoinQuery,
+    space: PlanSpace,
+    scan_choices,
+    methods: Sequence[JoinMethod],
+    allow_cross_products: bool,
+) -> Iterator[PlanNode]:
+    """All join trees over ``subset`` admitted by ``space``.
+
+    Mirrors the DP's partition walk (same crossing-predicate label and
+    order-target selection), but builds every combination instead of
+    keeping the best — so agreement with the DP is meaningful evidence.
+    """
+    if len(subset) == 1:
+        yield from scan_choices[next(iter(subset))]
+        return
+    for left_rels, right_rels in space.partitions(subset):
+        preds = [
+            p
+            for p in query.predicates_within(subset)
+            if (p.left in left_rels) != (p.right in left_rels)
+        ]
+        if not preds and not allow_cross_products:
+            continue
+        if preds:
+            label = preds[0].label
+            order_target = preds[0].order_label
+        else:
+            label = f"cross[{min(right_rels)}]"
+            order_target = None
+        for left in _subset_trees(
+            left_rels, query, space, scan_choices, methods, allow_cross_products
+        ):
+            for right in _subset_trees(
+                right_rels, query, space, scan_choices, methods,
+                allow_cross_products,
+            ):
+                for method in methods:
+                    yield Join(
+                        left=left,
+                        right=right,
+                        method=method,
+                        predicate_label=label,
+                        order_label=order_target,
+                    )
+
+
 def _access_paths(name: str, query: JoinQuery) -> List[Scan]:
     """Candidate scan leaves for one relation (mirrors the DP's choices)."""
     paths = [Scan(table=name)]
@@ -111,20 +231,29 @@ def exhaustive_best(
     objective: Callable[[Plan], float],
     methods: Sequence[JoinMethod],
     allow_cross_products: bool = False,
+    space=LEFT_DEEP,
 ) -> Tuple[PlanChoice, List[PlanChoice]]:
-    """Evaluate ``objective`` on every left-deep plan; return best and all.
+    """Evaluate ``objective`` on every plan in ``space``; return best and all.
 
     The returned list is sorted ascending by objective, so ``[0]`` is the
-    true optimum over the left-deep space and the tail gives regret curves
-    for the approximation experiments.
+    true optimum over the space and the tail gives regret curves for the
+    approximation experiments.  The default space keeps the historical
+    left-deep behavior (via the independent permutation enumerator).
     """
-    scored = [
-        PlanChoice(plan=p, objective=objective(p))
-        for p in enumerate_left_deep_plans(
+    space = PlanSpace.parse(space)
+    if space.key == "left-deep" and not isinstance(query, UnionQuery):
+        plans: Iterator[Plan] = enumerate_left_deep_plans(
             query, methods, allow_cross_products=allow_cross_products
         )
-    ]
+    else:
+        plans = enumerate_plans(
+            query,
+            methods,
+            space=space,
+            allow_cross_products=allow_cross_products,
+        )
+    scored = [PlanChoice(plan=p, objective=objective(p)) for p in plans]
     if not scored:
-        raise ValueError("no valid left-deep plans for this query")
+        raise ValueError(f"no valid {space.key} plans for this query")
     scored.sort(key=lambda c: c.objective)
     return scored[0], scored

@@ -49,6 +49,7 @@ from ..core.distributions import DiscreteDistribution
 from ..core.markov import MarkovParameter
 from ..costmodel.model import CostModel
 from ..plans.query import JoinQuery
+from ..plans.space import PlanSpace
 from .errors import OptimizerConfigError
 from .result import OptimizationResult
 
@@ -161,7 +162,13 @@ def optimize(
         objective (see the module docstring's table).
     cost_model:
         Cost model to evaluate formulas with (fresh default if omitted).
-    plan_space, allow_cross_products:
+    plan_space:
+        A :class:`~repro.plans.space.PlanSpace` or its spelling:
+        ``"left-deep"`` (default), ``"zig-zag"``, ``"bushy"``, or
+        ``"spju"`` (bushy + union blocks) — union queries
+        (:class:`~repro.plans.spju.UnionQuery`) need a union-capable
+        space.
+    allow_cross_products:
         Passed through to the System-R engine.
     top_k:
         For ``point``/``expected``/``markov``: plans retained per dag
@@ -211,6 +218,11 @@ def optimize(
             f"objective {objective!r} requires the memory= argument"
         )
 
+    try:
+        space = PlanSpace.parse(plan_space)
+    except ValueError as exc:
+        raise OptimizerConfigError(str(exc)) from None
+
     cm = cost_model if cost_model is not None else CostModel()
     ctx = context if context is not None else _context_for(query, cm)
     # Published under the cache lock: clear_context_cache() resets this
@@ -220,7 +232,7 @@ def optimize(
         _last_context = ctx
     common = dict(
         cost_model=cm,
-        plan_space=plan_space,
+        plan_space=space,
         allow_cross_products=allow_cross_products,
         context=ctx,
     )

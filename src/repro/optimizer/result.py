@@ -34,6 +34,7 @@ class OptimizerStats:
     entries_offered: int = 0
     merge_probes: int = 0
     formula_evaluations: int = 0
+    partitions_pruned: int = 0
     invocations: int = 1
 
     def merged_with(self, other: "OptimizerStats") -> "OptimizerStats":
@@ -44,6 +45,7 @@ class OptimizerStats:
             merge_probes=self.merge_probes + other.merge_probes,
             formula_evaluations=self.formula_evaluations
             + other.formula_evaluations,
+            partitions_pruned=self.partitions_pruned + other.partitions_pruned,
             invocations=self.invocations + other.invocations,
         )
 

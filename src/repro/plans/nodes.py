@@ -15,12 +15,36 @@ for deduplication across candidate sets.
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, List, Optional, Tuple, Union
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 from .properties import AccessPath, JoinMethod, order_from_join
 
-__all__ = ["Scan", "Join", "Sort", "PlanNode", "Plan", "left_deep_plan"]
+__all__ = [
+    "PlanShapeError",
+    "Scan",
+    "Join",
+    "Sort",
+    "Project",
+    "Union",
+    "UnionNode",
+    "PlanNode",
+    "JoinStep",
+    "Plan",
+    "left_deep_plan",
+]
+
+
+class PlanShapeError(ValueError):
+    """A plan's tree shape does not support the requested view.
+
+    Raised by shape-specific accessors (``Plan.join_order()``) on bushy or
+    union plans, and by :meth:`repro.plans.space.PlanSpace.join` when a
+    construction would leave the declared plan space.  Subclasses
+    ``ValueError`` so call sites written against the old generic error
+    keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -127,7 +151,105 @@ class Sort:
         return f"sort[{self.sort_order}]({self.child.signature()})"
 
 
-PlanNode = Union[Scan, Join, Sort]
+@dataclass(frozen=True)
+class Project:
+    """Projection: narrow the child's output to a subset of columns.
+
+    Structure-only like every node: the *effect* of the projection (the
+    page-count reduction) lives in the owning query block's
+    ``projection_ratio``, never in the tree.  Projections stream — they
+    cost nothing themselves and preserve the child's order — so the
+    optimizer places them at block roots (the SPJ "P").
+    """
+
+    child: "PlanNode"
+    label: Optional[str] = None
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        """The single input."""
+        return (self.child,)
+
+    @property
+    def order(self) -> Optional[str]:
+        """Projection preserves the child's order."""
+        return self.child.order
+
+    def relations(self) -> FrozenSet[str]:
+        """Base relations under this node."""
+        return self.child.relations()
+
+    def signature(self) -> str:
+        """Canonical string form."""
+        tag = f"[{self.label}]" if self.label else ""
+        return f"project{tag}({self.child.signature()})"
+
+
+@dataclass(frozen=True)
+class Union:
+    """N-ary union of SPJ arm subplans (the SPJU "U").
+
+    ``distinct=False`` is UNION ALL: arms stream into the output and the
+    node itself is free.  ``distinct=True`` must materialise and
+    de-duplicate, which the cost model charges as per-arm writes plus one
+    external sort over the combined output.
+    """
+
+    inputs: Tuple["PlanNode", ...]
+    distinct: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        if len(self.inputs) < 2:
+            raise PlanShapeError("a union node needs at least two inputs")
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        """The arm subplans."""
+        return self.inputs
+
+    @property
+    def order(self) -> Optional[str]:
+        """A union interleaves arms: no output order is guaranteed."""
+        return None
+
+    def relations(self) -> FrozenSet[str]:
+        """Base relations under all arms."""
+        out: FrozenSet[str] = frozenset()
+        for child in self.inputs:
+            out = out | child.relations()
+        return out
+
+    def signature(self) -> str:
+        """Canonical string form."""
+        head = "union-distinct" if self.distinct else "union"
+        return f"{head}({', '.join(c.signature() for c in self.inputs)})"
+
+
+#: Alias for modules that already use ``typing.Union`` (e.g. tools/).
+UnionNode = Union
+
+PlanNode = typing.Union[Scan, Join, Sort, Project, Union]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One join of a plan in execution (bottom-up) order.
+
+    The shape-agnostic replacement for ``Plan.join_order()``: a left-deep
+    plan's steps have singleton ``right_relations``, a bushy plan's may
+    not, but every consumer can iterate steps without assuming either.
+    """
+
+    index: int
+    join: Join
+    left_relations: FrozenSet[str]
+    right_relations: FrozenSet[str]
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """All base relations joined by this step."""
+        return self.left_relations | self.right_relations
 
 
 class Plan:
@@ -149,7 +271,7 @@ class Plan:
         yield from _postorder(self.root)
 
     def joins(self) -> List[Join]:
-        """Joins in execution order (bottom-up, left-deep aware).
+        """Joins in execution order (bottom-up post-order, any shape).
 
         For a left-deep plan this is exactly the phase sequence of
         Section 3.5: ``joins()[k]`` runs during phase ``k``.
@@ -157,6 +279,23 @@ class Plan:
         if self._joins is None:
             self._joins = [n for n in self.nodes() if isinstance(n, Join)]
         return self._joins
+
+    def join_steps(self) -> List[JoinStep]:
+        """Shape-agnostic join traversal: one :class:`JoinStep` per join.
+
+        This is the general replacement for :meth:`join_order` — it works
+        for left-deep, zig-zag, bushy and union plans alike, exposing each
+        join's input relation sets instead of assuming a single spine.
+        """
+        return [
+            JoinStep(
+                index=i,
+                join=j,
+                left_relations=j.left.relations(),
+                right_relations=j.right.relations(),
+            )
+            for i, j in enumerate(self.joins())
+        ]
 
     def scans(self) -> List[Scan]:
         """Leaf scans in post-order."""
@@ -200,10 +339,20 @@ class Plan:
     def join_order(self) -> List[str]:
         """For a left-deep plan: relation names in join order.
 
-        The first element is the leftmost (bottom) relation.
+        The first element is the leftmost (bottom) relation.  Raises
+        :class:`PlanShapeError` on bushy or union plans — use
+        :meth:`join_steps` for a shape-agnostic traversal.
         """
+        if any(isinstance(n, Union) for n in self.nodes()):
+            raise PlanShapeError(
+                "join_order() is not defined for union plans; "
+                "use join_steps() instead"
+            )
         if not self.is_left_deep():
-            raise ValueError("join_order() is only defined for left-deep plans")
+            raise PlanShapeError(
+                "join_order() is only defined for left-deep plans; "
+                "use join_steps() instead"
+            )
         joins = self.joins()
         if not joins:
             only = self.scans()
@@ -269,7 +418,8 @@ def _postorder(node: PlanNode) -> Iterator[PlanNode]:
 
 
 def _strip_sorts(node: PlanNode) -> PlanNode:
-    while isinstance(node, Sort):
+    """Strip streaming/enforcer wrappers (sorts *and* projections)."""
+    while isinstance(node, (Sort, Project)):
         node = node.child
     return node
 
@@ -282,6 +432,16 @@ def _pretty(node: PlanNode, depth: int, out: List[str]) -> None:
     if isinstance(node, Sort):
         out.append(f"{pad}Sort[{node.sort_order}]")
         _pretty(node.child, depth + 1, out)
+        return
+    if isinstance(node, Project):
+        tag = f"[{node.label}]" if node.label else ""
+        out.append(f"{pad}Project{tag}")
+        _pretty(node.child, depth + 1, out)
+        return
+    if isinstance(node, Union):
+        out.append(f"{pad}Union[{'distinct' if node.distinct else 'all'}]")
+        for child in node.inputs:
+            _pretty(child, depth + 1, out)
         return
     out.append(f"{pad}Join[{node.method.value} on {node.predicate_label}]")
     _pretty(node.left, depth + 1, out)

@@ -154,6 +154,12 @@ class JoinQuery:
         sort is appended.
     rows_per_page:
         Conversion factor between rows and pages for intermediates.
+    projection_ratio:
+        Fraction of the output *page width* the block's projection list
+        keeps (the SPJ "P"; 1.0 means SELECT *).  The optimizer surfaces
+        it as a streaming :class:`~repro.plans.nodes.Project` at the
+        block root; it only affects cost when the projected result is
+        re-materialised (e.g. by a distinct union's deduplication).
     """
 
     def __init__(
@@ -162,6 +168,7 @@ class JoinQuery:
         predicates: Sequence[JoinPredicate] = (),
         required_order: Optional[str] = None,
         rows_per_page: int = 100,
+        projection_ratio: float = 1.0,
     ):
         if not relations:
             raise QueryError("a query needs at least one relation")
@@ -174,6 +181,9 @@ class JoinQuery:
         if rows_per_page <= 0:
             raise QueryError("rows_per_page must be positive")
         self.rows_per_page = rows_per_page
+        if not 0.0 < projection_ratio <= 1.0:
+            raise QueryError("projection_ratio must be in (0, 1]")
+        self.projection_ratio = float(projection_ratio)
         self._by_name: Dict[str, RelationSpec] = {r.name: r for r in self.relations}
         known = set(names)
         for p in self.predicates:

@@ -1,0 +1,259 @@
+"""Plan spaces: a first-class description of the shapes a plan may take.
+
+The paper restricts its algorithms to left-deep select-join plans
+(heuristic 2 of Section 2.2) and defers bushy trees; this module makes
+that restriction — and its relaxations — an explicit, shared object
+instead of a string flag buried in one optimizer.  A :class:`PlanSpace`
+bundles:
+
+* the **tree shape** (``left-deep``, ``zig-zag``, ``bushy``) — which
+  (left, right) partitions the System-R dynamic program may consider for
+  each relation subset;
+* whether **union plans** are admitted (the SPJU extension: union arms
+  over SPJ sub-blocks, sized via Chen & Schneider-style bounds);
+* derived **capabilities**: ``ordered_phases`` is True exactly when every
+  candidate plan for a subset of size ``s`` schedules its joins in the
+  canonical phases ``0..s-2`` — the property the Markov objective
+  (Theorem 3.4) needs.  Left-deep *and* zig-zag trees have it (each join
+  adds one relation); bushy trees do not.
+
+Every component that enumerates or validates plans — SystemRDP, the
+exhaustive and randomized optimizers, Algorithms A-D via the facade, the
+serving tier's plan-cache keys — consumes the same :class:`PlanSpace`, so
+"which plans exist" is decided in exactly one place.  Constructing
+:class:`~repro.plans.nodes.Join` nodes through :meth:`PlanSpace.join` is
+the sanctioned path outside ``plans/`` (enforced by analysis rule
+PLAN001).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from .nodes import Join, Plan, PlanNode, PlanShapeError, Scan, _strip_sorts
+from .nodes import Union as UnionNode
+from .properties import JoinMethod
+
+__all__ = [
+    "PlanSpace",
+    "LEFT_DEEP",
+    "ZIG_ZAG",
+    "BUSHY",
+    "SPJU",
+]
+
+_SHAPES = ("left-deep", "zig-zag", "bushy")
+
+#: Accepted spellings (lowercased) for each shape.
+_SHAPE_ALIASES = {
+    "left-deep": "left-deep",
+    "left_deep": "left-deep",
+    "leftdeep": "left-deep",
+    "zig-zag": "zig-zag",
+    "zig_zag": "zig-zag",
+    "zigzag": "zig-zag",
+    "bushy": "bushy",
+}
+
+
+@dataclass(frozen=True)
+class PlanSpace:
+    """An immutable description of the admissible plan shapes.
+
+    ``shape`` is one of ``"left-deep"``, ``"zig-zag"``, ``"bushy"``;
+    ``union`` admits SPJU plans (union arms over SPJ blocks).  Use the
+    module constants (:data:`LEFT_DEEP`, :data:`ZIG_ZAG`, :data:`BUSHY`,
+    :data:`SPJU`) or :meth:`parse` rather than constructing directly.
+    """
+
+    shape: str
+    union: bool = False
+
+    def __post_init__(self):
+        if self.shape not in _SHAPES:
+            raise ValueError(
+                f"unknown plan-space shape {self.shape!r}; "
+                f"expected one of {_SHAPES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity / parsing
+    # ------------------------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """Canonical spelling, stable across parse round-trips.
+
+        Used verbatim in facade arguments, serving plan-cache knob
+        tuples, and experiment tables.
+        """
+        if self.union:
+            return "spju" if self.shape == "bushy" else f"{self.shape}+union"
+        return self.shape
+
+    @classmethod
+    def parse(cls, value) -> "PlanSpace":
+        """Resolve a user-facing spelling into a :class:`PlanSpace`.
+
+        Accepts an existing :class:`PlanSpace` (returned as-is), the
+        canonical keys, underscore/no-dash alias spellings, ``"spju"``
+        (bushy + union), and ``"<shape>+union"``.  Raises ``ValueError``
+        on anything else; optimizer entry points wrap that into
+        :class:`~repro.optimizer.errors.OptimizerConfigError`.
+        """
+        if isinstance(value, cls):
+            return value
+        if not isinstance(value, str):
+            raise ValueError(f"cannot parse plan space from {value!r}")
+        text = value.strip().lower()
+        if text == "spju":
+            return SPJU
+        union = False
+        if text.endswith("+union"):
+            union = True
+            text = text[: -len("+union")]
+        shape = _SHAPE_ALIASES.get(text)
+        if shape is None:
+            raise ValueError(
+                f"unknown plan space {value!r}; expected one of "
+                "'left-deep', 'zig-zag', 'bushy', 'spju' "
+                "(or '<shape>+union')"
+            )
+        return cls(shape=shape, union=union)
+
+    # ------------------------------------------------------------------
+    # Capabilities
+    # ------------------------------------------------------------------
+
+    @property
+    def ordered_phases(self) -> bool:
+        """True when joins land in canonical phases ``0..s-2`` per subset.
+
+        This is what phase-indexed objectives (the Markov coster) require.
+        Left-deep and zig-zag trees qualify — each join adds exactly one
+        relation — while bushy trees interleave subtree phases.
+        """
+        return self.shape != "bushy"
+
+    @property
+    def supports_union(self) -> bool:
+        """Whether SPJU (union) plans are admitted."""
+        return self.union
+
+    # ------------------------------------------------------------------
+    # Enumeration primitives (the DP consumes exactly these two)
+    # ------------------------------------------------------------------
+
+    def level_candidates(
+        self,
+        query,
+        size: int,
+        allow_cross_products: bool = False,
+        names: Optional[Sequence[str]] = None,
+    ) -> List[FrozenSet[str]]:
+        """The explicit candidate-subset list for one DP level.
+
+        Level ``size`` of the System-R dag holds every connected subset
+        of that many relations (all subsets when cross products are
+        allowed).  Returning the level as a materialised list — rather
+        than interleaving generation with evaluation — is deliberate: a
+        sharded serving tier can split one level across workers because
+        its entries only depend on earlier levels.
+        """
+        if names is None:
+            names = query.relation_names()
+        out: List[FrozenSet[str]] = []
+        for combo in itertools.combinations(names, size):
+            subset = frozenset(combo)
+            if not allow_cross_products and not query.is_connected(subset):
+                continue
+            out.append(subset)
+        return out
+
+    def partitions(
+        self, subset: FrozenSet[str]
+    ) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+        """Ordered (left, right) splits of ``subset`` for this shape.
+
+        The enumeration is ordered because join cost is asymmetric in
+        outer/inner.  Left-deep yields ``(S∖{m}, {m})``; zig-zag adds the
+        mirrored ``({m}, S∖{m})`` splits (composite on the right);
+        bushy yields every ordered pair of complementary non-empty
+        subsets.
+        """
+        members = sorted(subset)
+        n = len(members)
+        if self.shape == "left-deep":
+            return [(subset - {m}, frozenset((m,))) for m in members]
+        if self.shape == "zig-zag":
+            out = [(subset - {m}, frozenset((m,))) for m in members]
+            if n > 2:  # for n == 2 the mirrors are already present
+                out += [(frozenset((m,)), subset - {m}) for m in members]
+            return out
+        out: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+        for mask in range(1, (1 << n) - 1):
+            left = frozenset(members[i] for i in range(n) if mask & (1 << i))
+            out.append((left, subset - left))
+        return out
+
+    # ------------------------------------------------------------------
+    # Construction / validation
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        method: JoinMethod,
+        predicate_label: str,
+        order_label: Optional[str] = None,
+    ) -> Join:
+        """Build a join node, verifying it stays inside this space.
+
+        This is the sanctioned :class:`~repro.plans.nodes.Join`
+        construction path for code outside ``plans/`` (rule PLAN001);
+        it raises :class:`~repro.plans.nodes.PlanShapeError` when the
+        shape admission fails.
+        """
+        node = Join(
+            left=left,
+            right=right,
+            method=method,
+            predicate_label=predicate_label,
+            order_label=order_label,
+        )
+        if not self._admits_join(node):
+            raise PlanShapeError(
+                f"join {node.signature()} is outside the "
+                f"{self.key!r} plan space"
+            )
+        return node
+
+    def _admits_join(self, join: Join) -> bool:
+        if self.shape == "bushy":
+            return True
+        right_leaf = isinstance(_strip_sorts(join.right), Scan)
+        if self.shape == "left-deep":
+            return right_leaf
+        return right_leaf or isinstance(_strip_sorts(join.left), Scan)
+
+    def admits(self, plan: Plan) -> bool:
+        """True when every node of ``plan`` is legal in this space."""
+        for node in plan.nodes():
+            if isinstance(node, UnionNode) and not self.union:
+                return False
+            if isinstance(node, Join) and not self._admits_join(node):
+                return False
+        return True
+
+
+#: The paper's search space (heuristic 2): composites only on the left.
+LEFT_DEEP = PlanSpace("left-deep")
+#: Left-deep plus mirrored splits: one input of every join is a leaf.
+ZIG_ZAG = PlanSpace("zig-zag")
+#: All binary trees — the extension the paper defers.
+BUSHY = PlanSpace("bushy")
+#: Bushy trees plus union plans over SPJ arms.
+SPJU = PlanSpace("bushy", union=True)

@@ -48,6 +48,7 @@ from ..optimizer.facade import _OBJECTIVES, _model_key, optimize as _optimize
 from ..optimizer.result import OptimizationResult
 from ..plans.nodes import Plan
 from ..plans.query import JoinQuery
+from ..plans.space import PlanSpace
 from .metrics import MetricsRegistry
 from .plan_cache import PlanCache, PlanCacheKey, memory_key
 
@@ -89,9 +90,19 @@ class OptimizeRequest:
     include_mean: bool = True
 
     def knobs(self) -> Tuple:
-        """The option tuple that participates in the cache key."""
+        """The option tuple that participates in the cache key.
+
+        The plan space is normalised to its canonical key, so alias
+        spellings (``"zigzag"``, ``"zig_zag"``, a :class:`PlanSpace`
+        object) share one cache slot; an unknown spelling participates
+        verbatim and fails later, inside the optimizer.
+        """
+        try:
+            space_key = PlanSpace.parse(self.plan_space).key
+        except ValueError:
+            space_key = str(self.plan_space)
         return (
-            self.plan_space,
+            space_key,
             self.allow_cross_products,
             self.top_k,
             self.max_buckets,

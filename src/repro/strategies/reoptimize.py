@@ -28,7 +28,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..costmodel.estimates import subset_size
 from ..costmodel.model import CostModel
 from ..optimizer.exhaustive import enumerate_left_deep_plans
-from ..plans.nodes import Plan
+from ..plans.nodes import Plan, PlanShapeError
 from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
 
 __all__ = ["PhaseRecord", "AdaptiveExecutionResult", "run_with_reoptimization"]
@@ -215,7 +215,13 @@ def run_with_reoptimization(
             result.n_reoptimizations += 1
             remainder, _ = _remainder_query(est_query, joined, actual_out)
             new_plan = reoptimizer(remainder, memory)
-            new_order = new_plan.join_order()
+            try:
+                new_order = new_plan.join_order()
+            except PlanShapeError as exc:
+                raise ValueError(
+                    "the reoptimizer must return a left-deep remainder "
+                    f"plan: {exc}"
+                ) from None
             if new_order[0] != INTERMEDIATE:
                 raise ValueError(
                     "re-planned order must start from the materialised "

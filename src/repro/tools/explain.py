@@ -18,7 +18,8 @@ from ..costmodel.estimates import node_size
 from ..costmodel.model import CostModel
 from ..optimizer.facade import last_context, optimize
 from ..optimizer.result import OptimizationResult
-from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
+from ..plans.nodes import Union as UnionNode
 from ..plans.query import JoinQuery
 
 __all__ = [
@@ -70,14 +71,20 @@ def explain_costs(
         expected = sum(
             p * c for (_, p), c in zip(dist.items(), per_value)
         )
-        if context is not None:
+        if context is not None and not isinstance(node, (Project, UnionNode)):
             est = context.subset_size(node.relations())
         else:
+            # Projection/union output sizes are node-shaped (projected
+            # width, summed arms), not plain subset estimates.
             est = node_size(node, query)
         if isinstance(node, Scan):
             label = f"Scan({node.signature()})"
         elif isinstance(node, Sort):
             label = f"Sort[{node.sort_order}]"
+        elif isinstance(node, Project):
+            label = "Project" if node.label is None else f"Project[{node.label}]"
+        elif isinstance(node, UnionNode):
+            label = "UnionDistinct" if node.distinct else "UnionAll"
         else:
             assert isinstance(node, Join)
             label = f"Join[{node.method.value} on {node.predicate_label}]"

@@ -111,8 +111,13 @@ def memory_plan_diagram(
     memory_hi: float,
     width: int = 60,
     cost_model: Optional[CostModel] = None,
+    plan_space="left-deep",
 ) -> PlanDiagram:
-    """One-dimensional plan diagram over the memory axis (log-spaced)."""
+    """One-dimensional plan diagram over the memory axis (log-spaced).
+
+    ``plan_space`` selects the search space per cell — a bushy diagram
+    shows where tree shape (not just order) flips with memory.
+    """
     cm = cost_model if cost_model is not None else CostModel(count_evaluations=False)
     xs = _geom_grid(memory_lo, memory_hi, width)
     diagram = PlanDiagram(
@@ -124,7 +129,7 @@ def memory_plan_diagram(
     row: List[str] = []
     assignments: Dict[str, str] = {}
     for m in xs:
-        plan = optimize_lsc(query, m, cost_model=cm).plan
+        plan = optimize_lsc(query, m, cost_model=cm, plan_space=plan_space).plan
         sig = plan.signature()
         if sig not in assignments:
             if len(assignments) >= len(_LETTERS):
@@ -146,11 +151,13 @@ def memory_selectivity_diagram(
     width: int = 48,
     height: int = 14,
     cost_model: Optional[CostModel] = None,
+    plan_space="left-deep",
 ) -> PlanDiagram:
     """Two-dimensional plan diagram over (memory, one selectivity).
 
     Both axes log-spaced; each cell runs the point optimizer with the
-    predicate's selectivity pinned to the cell's value.
+    predicate's selectivity pinned to the cell's value, searching
+    ``plan_space``.
     """
     cm = cost_model if cost_model is not None else CostModel(count_evaluations=False)
     if not any(p.label == predicate_label for p in query.predicates):
@@ -168,7 +175,7 @@ def memory_selectivity_diagram(
         pinned = _pin_selectivity(query, predicate_label, sel)
         row: List[str] = []
         for m in xs:
-            plan = optimize_lsc(pinned, m, cost_model=cm).plan
+            plan = optimize_lsc(pinned, m, cost_model=cm, plan_space=plan_space).plan
             sig = plan.signature()
             if sig not in assignments:
                 if len(assignments) >= len(_LETTERS):
@@ -201,4 +208,5 @@ def _pin_selectivity(
         preds,
         required_order=query.required_order,
         rows_per_page=query.rows_per_page,
+        projection_ratio=getattr(query, "projection_ratio", 1.0),
     )

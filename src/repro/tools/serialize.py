@@ -19,7 +19,8 @@ import math
 from typing import Any, Dict
 
 from ..core.distributions import DiscreteDistribution
-from ..plans.nodes import Join, Plan, PlanNode, Scan, Sort
+from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
+from ..plans.nodes import Union as UnionNode
 from ..plans.properties import AccessPath, JoinMethod
 from ..strategies.choice_nodes import ChoicePlan
 from ..strategies.parametric import ParametricPlanSet, _Region
@@ -62,15 +63,30 @@ def _node_to_dict(node: PlanNode) -> Dict[str, Any]:
             "order": node.sort_order,
             "child": _node_to_dict(node.child),
         }
-    assert isinstance(node, Join)
-    return {
-        "op": "join",
-        "method": node.method.value,
-        "predicate": node.predicate_label,
-        "order_label": node.order_label,
-        "left": _node_to_dict(node.left),
-        "right": _node_to_dict(node.right),
-    }
+    if isinstance(node, Project):
+        return {
+            "op": "project",
+            "label": node.label,
+            "child": _node_to_dict(node.child),
+        }
+    if isinstance(node, UnionNode):
+        return {
+            "op": "union",
+            "distinct": node.distinct,
+            "inputs": [_node_to_dict(child) for child in node.inputs],
+        }
+    if isinstance(node, Join):
+        return {
+            "op": "join",
+            "method": node.method.value,
+            "predicate": node.predicate_label,
+            "order_label": node.order_label,
+            "left": _node_to_dict(node.left),
+            "right": _node_to_dict(node.right),
+        }
+    raise SerializationError(
+        f"cannot encode plan node of type {type(node).__name__}"
+    )
 
 
 def _node_from_dict(doc: Dict[str, Any]) -> PlanNode:
@@ -92,6 +108,18 @@ def _node_from_dict(doc: Dict[str, Any]) -> PlanNode:
         )
     if op == "sort":
         return Sort(child=_node_from_dict(doc["child"]), sort_order=doc["order"])
+    if op == "project":
+        return Project(child=_node_from_dict(doc["child"]), label=doc.get("label"))
+    if op == "union":
+        inputs = doc.get("inputs")
+        if not isinstance(inputs, list) or len(inputs) < 2:
+            raise SerializationError(
+                "union node needs a list of at least two inputs"
+            )
+        return UnionNode(
+            inputs=tuple(_node_from_dict(d) for d in inputs),
+            distinct=bool(doc.get("distinct", False)),
+        )
     if op == "join":
         try:
             method = JoinMethod(doc["method"])
@@ -99,7 +127,9 @@ def _node_from_dict(doc: Dict[str, Any]) -> PlanNode:
             raise SerializationError(
                 f"unknown join method {doc.get('method')!r}"
             ) from None
-        return Join(
+        # Decoding reconstructs a tree already admitted by some space;
+        # no shape decision is being made here.
+        return Join(  # optlint: disable=PLAN001
             left=_node_from_dict(doc["left"]),
             right=_node_from_dict(doc["right"]),
             method=method,
@@ -110,14 +140,23 @@ def _node_from_dict(doc: Dict[str, Any]) -> PlanNode:
 
 
 def plan_to_dict(plan: Plan) -> Dict[str, Any]:
-    """Encode a plan tree as a JSON-compatible dictionary."""
-    return {"kind": "plan", "version": 1, "root": _node_to_dict(plan.root)}
+    """Encode a plan tree as a JSON-compatible dictionary.
+
+    Emits format ``version: 2``, which adds the ``project`` and ``union``
+    node kinds for SPJU plans; version-1 documents (select-join plans)
+    decode unchanged.
+    """
+    return {"kind": "plan", "version": 2, "root": _node_to_dict(plan.root)}
 
 
 def plan_from_dict(doc: Dict[str, Any]) -> Plan:
-    """Decode a plan tree; raises :class:`SerializationError` if invalid."""
+    """Decode a plan tree (format versions 1 and 2);
+    raises :class:`SerializationError` if invalid."""
     if not isinstance(doc, dict) or doc.get("kind") != "plan":
         raise SerializationError("not a plan document")
+    version = doc.get("version", 1)
+    if version not in (1, 2):
+        raise SerializationError(f"unsupported plan document version {version!r}")
     try:
         return Plan(_node_from_dict(doc["root"]))
     except KeyError as exc:

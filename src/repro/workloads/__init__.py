@@ -6,6 +6,7 @@ from .queries import (
     clique_query,
     random_query,
     star_query,
+    union_query,
     with_selectivity_uncertainty,
     with_size_uncertainty,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "star_query",
     "clique_query",
     "random_query",
+    "union_query",
     "with_selectivity_uncertainty",
     "with_size_uncertainty",
     "example_1_1",

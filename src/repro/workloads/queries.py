@@ -18,12 +18,14 @@ import numpy as np
 
 from ..core.distributions import DiscreteDistribution
 from ..plans.query import JoinPredicate, JoinQuery, RelationSpec
+from ..plans.spju import UnionQuery
 
 __all__ = [
     "chain_query",
     "star_query",
     "clique_query",
     "random_query",
+    "union_query",
     "with_selectivity_uncertainty",
     "with_size_uncertainty",
 ]
@@ -161,6 +163,68 @@ def random_query(
     return makers[shape](n, rng, **kwargs)
 
 
+def union_query(
+    n_arms: int,
+    arm_size: int,
+    rng: np.random.Generator,
+    shape: str = "chain",
+    distinct: bool = False,
+    projection_ratios: Optional[List[float]] = None,
+    rows_per_page: int = 100,
+    **kwargs,
+) -> UnionQuery:
+    """An SPJU block: ``n_arms`` independent arms of ``arm_size`` relations.
+
+    Arm relations are renamed ``U<arm>R<i>`` so the combined namespace is
+    globally unique.  ``projection_ratios`` (one per arm, default all 1.0)
+    sets each arm's projection; extra ``kwargs`` go to the per-arm shape
+    generator.
+    """
+    if n_arms < 2:
+        raise ValueError("a union workload needs at least two arms")
+    if projection_ratios is None:
+        projection_ratios = [1.0] * n_arms
+    if len(projection_ratios) != n_arms:
+        raise ValueError("need one projection ratio per arm")
+    arms = []
+    for a in range(n_arms):
+        arm = random_query(
+            arm_size, rng, shape=shape, rows_per_page=rows_per_page, **kwargs
+        )
+        prefix = f"U{a}"
+        rels = [
+            RelationSpec(
+                name=prefix + r.name,
+                pages=r.pages,
+                rows=r.rows,
+                pages_dist=r.pages_dist,
+                filter_selectivity=r.filter_selectivity,
+                index=r.index,
+            )
+            for r in arm.relations
+        ]
+        preds = [
+            JoinPredicate(
+                left=prefix + p.left,
+                right=prefix + p.right,
+                selectivity=p.selectivity,
+                selectivity_dist=p.selectivity_dist,
+                result_pages_override=p.result_pages_override,
+                equiv_class=p.equiv_class,
+            )
+            for p in arm.predicates
+        ]
+        arms.append(
+            JoinQuery(
+                rels,
+                preds,
+                rows_per_page=rows_per_page,
+                projection_ratio=projection_ratios[a],
+            )
+        )
+    return UnionQuery(arms, distinct=distinct)
+
+
 def _lift_point(
     point: float,
     relative_error: float,
@@ -196,6 +260,14 @@ def with_selectivity_uncertainty(
         raise ValueError("relative_error must be non-negative")
     if relative_error == 0:
         return query
+    if isinstance(query, UnionQuery):
+        return UnionQuery(
+            [
+                with_selectivity_uncertainty(arm, relative_error, n_buckets)
+                for arm in query.arms
+            ],
+            distinct=query.distinct,
+        )
     preds = [
         JoinPredicate(
             left=p.left,
@@ -206,6 +278,7 @@ def with_selectivity_uncertainty(
                 p.selectivity, relative_error, n_buckets, clamp_hi=1.0
             ),
             result_pages_override=p.result_pages_override,
+            equiv_class=p.equiv_class,
         )
         for p in query.predicates
     ]
@@ -214,6 +287,7 @@ def with_selectivity_uncertainty(
         preds,
         required_order=query.required_order,
         rows_per_page=query.rows_per_page,
+        projection_ratio=query.projection_ratio,
     )
 
 
@@ -227,6 +301,14 @@ def with_size_uncertainty(
         raise ValueError("relative_error must be non-negative")
     if relative_error == 0:
         return query
+    if isinstance(query, UnionQuery):
+        return UnionQuery(
+            [
+                with_size_uncertainty(arm, relative_error, n_buckets)
+                for arm in query.arms
+            ],
+            distinct=query.distinct,
+        )
     rels = [
         RelationSpec(
             name=r.name,
@@ -234,6 +316,7 @@ def with_size_uncertainty(
             rows=r.rows,
             pages_dist=_lift_point(r.pages, relative_error, n_buckets),
             filter_selectivity=r.filter_selectivity,
+            index=r.index,
         )
         for r in query.relations
     ]
@@ -242,4 +325,5 @@ def with_size_uncertainty(
         list(query.predicates),
         required_order=query.required_order,
         rows_per_page=query.rows_per_page,
+        projection_ratio=query.projection_ratio,
     )

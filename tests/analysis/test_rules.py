@@ -305,6 +305,66 @@ class TestDist001:
         assert run_rule("DIST001", src) == []
 
 
+class TestPlan001:
+    def test_fires_on_raw_join_construction(self):
+        src = """
+            from repro.plans.nodes import Join
+
+            def glue(left, right, method, label):
+                return Join(left=left, right=right, method=method,
+                            predicate_label=label)
+            """
+        findings = run_rule("PLAN001", src)
+        assert len(findings) == 1
+        assert "PlanSpace.join" in findings[0].message
+
+    def test_fires_on_shape_frozen_enumerator(self):
+        src = """
+            import itertools
+
+            def enumerate_zigzag_plans(query, methods):
+                for perm in itertools.permutations(query.relation_names()):
+                    yield perm
+            """
+        findings = run_rule("PLAN001", src)
+        assert len(findings) == 1
+        assert "enumerate_zigzag_plans" in findings[0].message
+
+    def test_quiet_when_module_routes_through_planspace(self):
+        src = """
+            from repro.plans.nodes import Join
+            from repro.plans.space import PlanSpace
+
+            def glue(space, left, right, method, label):
+                return space.join(left=left, right=right, method=method,
+                                  predicate_label=label)
+
+            def rebuild(doc):
+                return Join(left=doc["l"], right=doc["r"],
+                            method=doc["m"], predicate_label=doc["p"])
+            """
+        assert run_rule("PLAN001", src) == []
+
+    def test_quiet_on_space_parameterized_enumerator(self):
+        src = """
+            def enumerate_plans(query, methods, space, enforce_order=True):
+                yield from space.partitions(frozenset(query))
+            """
+        assert run_rule("PLAN001", src) == []
+
+    def test_plans_package_is_exempt(self):
+        src = """
+            def make(left, right, method):
+                return Join(left=left, right=right, method=method,
+                            predicate_label="p")
+            """
+        assert run_rule("PLAN001", src, path="src/repro/plans/space.py") == []
+
+    def test_test_files_are_exempt(self):
+        src = "j = Join(left=a, right=b, method=m, predicate_label='p')\n"
+        assert run_rule("PLAN001", src, path="tests/test_probe.py") == []
+
+
 class TestRepoIsClean:
     def test_src_repro_has_no_findings(self):
         # The CI gate in test form: the shipped tree satisfies its own

@@ -1,0 +1,153 @@
+"""Executing SPJU-era plan nodes: Project pass-through and Union.
+
+The executor stores fixed-width tuples, so Project is a width-reduction
+no-op at the tuple level (the cost model already prices narrower pages);
+Union concatenates arm outputs, with DISTINCT de-duplicating whole rows.
+These tests check both against brute-force Python references, plus the
+arity guard and bushy join trees end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.engine.buffer import BufferPool
+from repro.engine.executor import ExecutionContext, ExecutionError, execute_plan
+from repro.engine.pages import PagedFile, Schema, StorageManager
+from repro.plans.nodes import Join, Plan, Project, Scan
+from repro.plans.nodes import Union as UnionNode
+from repro.plans.properties import JoinMethod
+
+
+def _make_file(name: str, rows: List[Tuple], fields, rpp=10) -> PagedFile:
+    return PagedFile.from_rows(name, Schema(tuple(fields)), rows, rows_per_page=rpp)
+
+
+def _ctx(capacity: int, *files: PagedFile) -> ExecutionContext:
+    storage = StorageManager()
+    for f in files:
+        storage.register(f)
+    return ExecutionContext(
+        storage=storage, pool=BufferPool(capacity), rows_per_page=10
+    )
+
+
+def _rows(pf: PagedFile) -> List[Tuple]:
+    out = []
+    for page in pf.pages:
+        out.extend(page.rows)
+    return out
+
+
+@pytest.fixture
+def files():
+    a = _make_file("a", [(i, i % 3) for i in range(40)], ["a.k", "a.g"])
+    b = _make_file("b", [(i % 3, i) for i in range(30)], ["b.g", "b.v"])
+    # Same arity as the (a ⋈ b) join output, with overlapping rows.
+    c = _make_file(
+        "c",
+        [(i, i % 3, i % 3, i) for i in range(12)],
+        ["c.k", "c.g", "c.g2", "c.v"],
+    )
+    return a, b, c
+
+
+def _join_ab():
+    return Join(Scan("a"), Scan("b"), JoinMethod.GRACE_HASH, "a=b")
+
+
+BINDINGS = {"a=b": ("a.g", "b.g")}
+
+
+class TestProject:
+    def test_project_is_tuple_level_passthrough(self, files):
+        a, b, c = files
+        plain, _ = execute_plan(Plan(_join_ab()), _ctx(8, a, b), BINDINGS)
+        projected, _ = execute_plan(
+            Plan(Project(child=_join_ab())), _ctx(8, a, b), BINDINGS
+        )
+        assert sorted(_rows(projected)) == sorted(_rows(plain))
+
+    def test_project_over_scan(self, files):
+        a, _, _ = files
+        result, _ = execute_plan(Plan(Project(child=Scan("a"))), _ctx(8, a), {})
+        assert sorted(_rows(result)) == sorted(_rows(a))
+
+
+class TestUnion:
+    def test_union_all_concatenates(self, files):
+        a, b, c = files
+        node = UnionNode(inputs=(_join_ab(), Scan("c")), distinct=False)
+        result, _ = execute_plan(Plan(node), _ctx(8, a, b, c), BINDINGS)
+        reference, _ = execute_plan(Plan(_join_ab()), _ctx(8, a, b), BINDINGS)
+        assert sorted(_rows(result)) == sorted(_rows(reference) + _rows(c))
+
+    def test_union_distinct_deduplicates(self, files):
+        a, b, c = files
+        node = UnionNode(inputs=(Scan("c"), Scan("c"), Scan("c")), distinct=True)
+        result, _ = execute_plan(Plan(node), _ctx(8, c), {})
+        assert sorted(_rows(result)) == sorted(set(_rows(c)))
+
+    def test_union_all_keeps_duplicates(self, files):
+        _, _, c = files
+        node = UnionNode(inputs=(Scan("c"), Scan("c")), distinct=False)
+        result, _ = execute_plan(Plan(node), _ctx(8, c), {})
+        assert result.n_rows == 2 * c.n_rows
+
+    def test_union_distinct_across_arms(self, files):
+        a, b, c = files
+        node = UnionNode(
+            inputs=(Project(child=_join_ab()), Scan("c")), distinct=True
+        )
+        result, _ = execute_plan(Plan(node), _ctx(8, a, b, c), BINDINGS)
+        reference, _ = execute_plan(Plan(_join_ab()), _ctx(8, a, b), BINDINGS)
+        expected = set(_rows(reference)) | set(_rows(c))
+        assert sorted(_rows(result)) == sorted(expected)
+
+    def test_arity_mismatch_raises(self, files):
+        a, b, c = files
+        node = UnionNode(inputs=(Scan("a"), Scan("c")), distinct=False)
+        with pytest.raises(ExecutionError, match="arity"):
+            execute_plan(Plan(node), _ctx(8, a, c), {})
+
+
+class TestBushyExecution:
+    def test_bushy_tree_matches_left_deep_result(self):
+        r = _make_file("r", [(i, i % 4) for i in range(20)], ["r.k", "r.j"])
+        s = _make_file("s", [(i % 4, i % 5) for i in range(20)], ["s.j", "s.m"])
+        t = _make_file("t", [(i % 5, i % 6) for i in range(20)], ["t.m", "t.n"])
+        u = _make_file("u", [(i % 6, i) for i in range(20)], ["u.n", "u.v"])
+        bindings = {
+            "r=s": ("r.j", "s.j"),
+            "s=t": ("s.m", "t.m"),
+            "t=u": ("t.n", "u.n"),
+        }
+        bushy = Plan(
+            Join(
+                Join(Scan("r"), Scan("s"), JoinMethod.GRACE_HASH, "r=s"),
+                Join(Scan("t"), Scan("u"), JoinMethod.GRACE_HASH, "t=u"),
+                JoinMethod.SORT_MERGE,
+                "s=t",
+            )
+        )
+        left_deep = Plan(
+            Join(
+                Join(
+                    Join(Scan("r"), Scan("s"), JoinMethod.GRACE_HASH, "r=s"),
+                    Scan("t"),
+                    JoinMethod.GRACE_HASH,
+                    "s=t",
+                ),
+                Scan("u"),
+                JoinMethod.GRACE_HASH,
+                "t=u",
+            )
+        )
+        got, _ = execute_plan(bushy, _ctx(10, r, s, t, u), bindings)
+        want, _ = execute_plan(left_deep, _ctx(10, r, s, t, u), bindings)
+        assert got.n_rows == want.n_rows
+        assert sorted(
+            tuple(sorted(row)) for row in _rows(got)
+        ) == sorted(tuple(sorted(row)) for row in _rows(want))

@@ -50,7 +50,7 @@ class TestExperimentTable:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 21)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):

@@ -190,7 +190,7 @@ class TestErrors:
 
     def test_engine_config_errors(self, example_query, bimodal_memory):
         with pytest.raises(OptimizerConfigError):
-            optimize(example_query, "lec", memory=bimodal_memory, plan_space="zigzag")
+            optimize(example_query, "lec", memory=bimodal_memory, plan_space="star")
         with pytest.raises(OptimizerConfigError):
             optimize(example_query, "lec", memory=bimodal_memory, top_k=0)
 

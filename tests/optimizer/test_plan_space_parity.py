@@ -1,0 +1,111 @@
+"""Left-deep parity and plan-space dominance guarantees.
+
+The plan-space refactor rewired the DP enumerator, the costers and the
+facade; these tests pin down that it changed *nothing* observable for
+the paper's own (left-deep) space:
+
+* golden plans/objectives captured on the pre-refactor tree must come
+  back bit-identical for every algorithm and both costers;
+* richer spaces may only improve the optimum (dominance), never hurt it;
+* left-deep requests through every entry point still produce left-deep
+  plans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import DiscreteDistribution
+from repro.optimizer.facade import clear_context_cache, optimize
+from repro.workloads.queries import (
+    chain_query,
+    random_query,
+    star_query,
+    with_selectivity_uncertainty,
+    with_size_uncertainty,
+)
+
+#: (query, objective) -> (plan signature, objective value), captured on
+#: the pre-refactor left-deep-only tree (seed 42, b=2 memory buckets).
+GOLDEN = {
+    ("chain5", "lsc"): ("((((R4 NL R3) GH R2) GH R1) GH R0)", 198891.0028260278),
+    ("chain5", "lec"): ("((((R4 NL R3) GH R2) GH R1) GH R0)", 198891.0028260278),
+    ("chain5", "multiparam"): ("((((R4 GH R3) GH R2) GH R1) GH R0)", 176402.08912303875),
+    ("chain5", "algorithm_a"): ("((((R4 NL R3) GH R2) GH R1) GH R0)", 198891.0028260278),
+    ("chain5", "algorithm_b"): ("((((R4 NL R3) GH R2) GH R1) GH R0)", 198891.0028260278),
+    ("star5", "lsc"): ("((((R4 GH R0) GH R2) NL R1) NL R3)", 336207.8625444251),
+    ("star5", "lec"): ("((((R4 GH R0) GH R2) GH R1) GH R3)", 340266.32874036324),
+    ("star5", "multiparam"): ("((((R4 GH R0) GH R1) GH R2) GH R3)", 329768.6327089302),
+    ("star5", "algorithm_a"): ("((((R4 GH R0) GH R2) GH R1) GH R3)", 340266.3287403632),
+    ("star5", "algorithm_b"): ("((((R4 GH R0) GH R2) GH R1) GH R3)", 340266.3287403632),
+    ("chain4_order", "lsc"): ("(((R3 NL R2) GH R1) SM R0)", 250943.9772938469),
+    ("chain4_order", "lec"): ("(((R3 GH R2) GH R1) SM R0)", 256932.8772938469),
+    ("chain4_order", "multiparam"): ("(((R3 GH R2) GH R1) SM R0)", 262358.0882013979),
+    ("chain4_order", "algorithm_a"): ("(((R3 GH R2) GH R1) SM R0)", 256932.8772938469),
+    ("chain4_order", "algorithm_b"): ("(((R3 GH R2) GH R1) SM R0)", 256932.8772938469),
+}
+
+MEMORY = DiscreteDistribution([2000.0, 300.0], [0.7, 0.3])
+
+
+def _golden_queries():
+    rng = np.random.default_rng(42)
+    queries = {
+        "chain5": chain_query(5, rng),
+        "star5": star_query(5, rng),
+        "chain4_order": chain_query(4, rng, require_order=True),
+    }
+    return {
+        name: with_selectivity_uncertainty(with_size_uncertainty(q, 0.8), 0.8)
+        for name, q in queries.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def golden_queries():
+    return _golden_queries()
+
+
+class TestLeftDeepGoldenParity:
+    @pytest.mark.parametrize("case", sorted(GOLDEN))
+    def test_bit_identical_to_pre_refactor(self, golden_queries, case):
+        qname, objective = case
+        clear_context_cache()
+        res = optimize(
+            golden_queries[qname], objective, memory=MEMORY,
+            plan_space="left-deep",
+        )
+        want_sig, want_obj = GOLDEN[case]
+        assert res.plan.signature() == want_sig
+        assert res.objective == pytest.approx(want_obj, rel=1e-9)
+        assert res.plan.is_left_deep()
+
+
+class TestSpaceDominance:
+    @pytest.mark.parametrize("objective", ["lsc", "lec"])
+    def test_richer_spaces_never_worse(self, objective):
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            query = random_query(
+                4, rng, min_pages=200, max_pages=200000, rows_per_page=100
+            )
+            costs = {}
+            for space in ["left-deep", "zig-zag", "bushy"]:
+                clear_context_cache()
+                res = optimize(query, objective, memory=MEMORY, plan_space=space)
+                costs[space] = res.objective
+            assert costs["zig-zag"] <= costs["left-deep"] * (1 + 1e-9)
+            assert costs["bushy"] <= costs["zig-zag"] * (1 + 1e-9)
+
+    def test_left_deep_aliases_identical(self, golden_queries):
+        base = None
+        for spelling in ["left-deep", "left_deep", "leftdeep"]:
+            clear_context_cache()
+            res = optimize(
+                golden_queries["chain5"], "lec", memory=MEMORY,
+                plan_space=spelling,
+            )
+            if base is None:
+                base = (res.plan.signature(), res.objective)
+            assert (res.plan.signature(), res.objective) == base

@@ -65,7 +65,7 @@ class TestBasics:
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):
-            SystemRDP(PointCoster(10.0), plan_space="zigzag")
+            SystemRDP(PointCoster(10.0), plan_space="star")
         with pytest.raises(ValueError):
             SystemRDP(PointCoster(10.0), top_k=0)
 

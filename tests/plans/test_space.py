@@ -1,0 +1,154 @@
+"""Unit tests for the PlanSpace abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plans import (
+    BUSHY,
+    LEFT_DEEP,
+    SPJU,
+    ZIG_ZAG,
+    JoinMethod,
+    Plan,
+    PlanShapeError,
+    PlanSpace,
+    Scan,
+)
+from repro.workloads.queries import chain_query
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("left-deep", LEFT_DEEP),
+            ("left_deep", LEFT_DEEP),
+            ("leftdeep", LEFT_DEEP),
+            ("LEFT-DEEP", LEFT_DEEP),
+            ("zig-zag", ZIG_ZAG),
+            ("zigzag", ZIG_ZAG),
+            ("zig_zag", ZIG_ZAG),
+            ("bushy", BUSHY),
+            ("spju", SPJU),
+            ("bushy+union", SPJU),
+            ("left-deep+union", PlanSpace("left-deep", union=True)),
+        ],
+    )
+    def test_spellings(self, spelling, expected):
+        assert PlanSpace.parse(spelling) == expected
+
+    def test_instance_passthrough(self):
+        assert PlanSpace.parse(BUSHY) is BUSHY
+
+    @pytest.mark.parametrize("bad", ["star", "", "deep", 42, None])
+    def test_rejects_unknown(self, bad):
+        with pytest.raises(ValueError):
+            PlanSpace.parse(bad)
+
+    def test_key_round_trips(self):
+        for space in [LEFT_DEEP, ZIG_ZAG, BUSHY, SPJU,
+                      PlanSpace("zig-zag", union=True)]:
+            assert PlanSpace.parse(space.key) == space
+
+    def test_spju_key_is_canonical(self):
+        assert SPJU.key == "spju"
+        assert PlanSpace("left-deep", union=True).key == "left-deep+union"
+
+    def test_bad_shape_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PlanSpace("star")
+
+
+class TestCapabilities:
+    def test_ordered_phases(self):
+        assert LEFT_DEEP.ordered_phases
+        assert ZIG_ZAG.ordered_phases
+        assert not BUSHY.ordered_phases
+        assert not SPJU.ordered_phases
+
+    def test_supports_union(self):
+        assert SPJU.supports_union
+        assert not BUSHY.supports_union
+        assert not LEFT_DEEP.supports_union
+
+
+class TestPartitions:
+    SUBSET = frozenset({"A", "B", "C", "D"})
+
+    def test_left_deep_splits_off_single_relations(self):
+        parts = LEFT_DEEP.partitions(self.SUBSET)
+        assert len(parts) == 4
+        for left, right in parts:
+            assert len(right) == 1
+            assert left | right == self.SUBSET
+            assert not left & right
+
+    def test_zig_zag_adds_mirrors(self):
+        parts = ZIG_ZAG.partitions(self.SUBSET)
+        assert len(parts) == 8
+        assert all(len(left) == 1 or len(right) == 1 for left, right in parts)
+        mirrored = {(right, left) for left, right in parts}
+        assert mirrored == set(parts)
+
+    def test_zig_zag_two_relations_no_duplicate_mirrors(self):
+        parts = ZIG_ZAG.partitions(frozenset({"A", "B"}))
+        assert len(parts) == len(set(parts)) == 2
+
+    def test_bushy_enumerates_every_ordered_split(self):
+        parts = BUSHY.partitions(self.SUBSET)
+        assert len(parts) == 2 ** 4 - 2
+        assert len(set(parts)) == len(parts)
+        for left, right in parts:
+            assert left and right
+            assert left | right == self.SUBSET
+            assert not left & right
+
+    def test_level_candidates_respect_connectivity(self):
+        query = chain_query(4, np.random.default_rng(0))
+        connected = LEFT_DEEP.level_candidates(query, 2)
+        assert frozenset({"R0", "R1"}) in connected
+        assert frozenset({"R0", "R2"}) not in connected
+        everything = LEFT_DEEP.level_candidates(
+            query, 2, allow_cross_products=True
+        )
+        assert len(everything) == 6
+
+
+class TestJoinConstruction:
+    def _leaves(self):
+        return Scan(table="A"), Scan(table="B"), Scan(table="C")
+
+    def test_left_deep_rejects_composite_right(self):
+        a, b, c = self._leaves()
+        ab = LEFT_DEEP.join(a, b, JoinMethod.GRACE_HASH, "A=B")
+        with pytest.raises(PlanShapeError):
+            LEFT_DEEP.join(c, ab, JoinMethod.GRACE_HASH, "B=C")
+
+    def test_zig_zag_accepts_composite_right_with_leaf_left(self):
+        a, b, c = self._leaves()
+        ab = ZIG_ZAG.join(a, b, JoinMethod.GRACE_HASH, "A=B")
+        node = ZIG_ZAG.join(c, ab, JoinMethod.GRACE_HASH, "B=C")
+        assert node.signature() == "(C GH (A GH B))"
+
+    def test_bushy_accepts_composite_both_sides(self):
+        a, b, c = self._leaves()
+        d = Scan(table="D")
+        ab = BUSHY.join(a, b, JoinMethod.GRACE_HASH, "A=B")
+        cd = BUSHY.join(c, d, JoinMethod.GRACE_HASH, "C=D")
+        node = BUSHY.join(ab, cd, JoinMethod.NESTED_LOOP, "B=C")
+        with pytest.raises(PlanShapeError):
+            ZIG_ZAG.join(ab, cd, JoinMethod.NESTED_LOOP, "B=C")
+        assert BUSHY.admits(Plan(node))
+        assert not ZIG_ZAG.admits(Plan(node))
+        assert not LEFT_DEEP.admits(Plan(node))
+
+    def test_admits_is_shape_hierarchy(self):
+        a, b, c = self._leaves()
+        ab = LEFT_DEEP.join(a, b, JoinMethod.GRACE_HASH, "A=B")
+        abc = LEFT_DEEP.join(ab, c, JoinMethod.SORT_MERGE, "B=C")
+        plan = Plan(abc)
+        assert LEFT_DEEP.admits(plan)
+        assert ZIG_ZAG.admits(plan)
+        assert BUSHY.admits(plan)

@@ -9,11 +9,13 @@ from repro.core.markov import MarkovParameter
 from repro.costmodel.model import CostModel
 from repro.plans.query import JoinQuery
 from repro.workloads.datagen import ColumnSpec, build_database, generate_table
+from repro.plans.spju import UnionQuery
 from repro.workloads.queries import (
     chain_query,
     clique_query,
     random_query,
     star_query,
+    union_query,
     with_selectivity_uncertainty,
     with_size_uncertainty,
 )
@@ -154,6 +156,58 @@ class TestUncertaintyLifting:
         lifted = with_selectivity_uncertainty(q, 10.0, n_buckets=7)
         for p in lifted.predicates:
             assert p.selectivity_dist.max() <= 1.0
+
+
+class TestUnionGenerator:
+    def test_arm_structure_and_namespacing(self, rng):
+        q = union_query(2, 3, rng)
+        assert isinstance(q, UnionQuery)
+        assert not q.distinct
+        assert len(q.arms) == 2
+        for a, arm in enumerate(q.arms):
+            assert arm.n_relations == 3
+            assert all(r.name.startswith(f"U{a}") for r in arm.relations)
+            assert all(
+                p.left.startswith(f"U{a}") and p.right.startswith(f"U{a}")
+                for p in arm.predicates
+            )
+        names = [r.name for arm in q.arms for r in arm.relations]
+        assert len(names) == len(set(names))
+
+    def test_distinct_and_projection_ratios(self, rng):
+        q = union_query(
+            3, 2, rng, distinct=True, projection_ratios=[1.0, 0.5, 0.3]
+        )
+        assert q.distinct
+        assert [arm.projection_ratio for arm in q.arms] == [1.0, 0.5, 0.3]
+
+    def test_needs_at_least_two_arms(self, rng):
+        with pytest.raises(ValueError, match="two arms"):
+            union_query(1, 3, rng)
+
+    def test_projection_ratio_length_must_match(self, rng):
+        with pytest.raises(ValueError, match="per arm"):
+            union_query(2, 3, rng, projection_ratios=[0.5])
+
+    def test_lifts_recurse_into_arms(self, rng):
+        q = union_query(2, 2, rng, distinct=True, projection_ratios=[1.0, 0.4])
+        lifted = with_size_uncertainty(
+            with_selectivity_uncertainty(q, 1.0), 0.5
+        )
+        assert isinstance(lifted, UnionQuery)
+        assert lifted.distinct
+        assert [arm.projection_ratio for arm in lifted.arms] == [1.0, 0.4]
+        for arm0, arm1 in zip(q.arms, lifted.arms):
+            for p0, p1 in zip(arm0.predicates, arm1.predicates):
+                assert p1.selectivity_dist is not None
+                assert p1.selectivity_dist.mean() == pytest.approx(
+                    p0.selectivity, rel=1e-9
+                )
+            for r0, r1 in zip(arm0.relations, arm1.relations):
+                assert r1.pages_dist is not None
+                assert r1.pages_dist.mean() == pytest.approx(
+                    r0.pages, rel=1e-9
+                )
 
 
 class TestScenarios:
