@@ -1,0 +1,123 @@
+"""Cluster-tier benchmark: optimize throughput vs shard count + crash drill.
+
+The headline claims of ``repro.cluster``:
+
+* on a CPU-bound, mostly-unique workload, 4 worker processes deliver at
+  least 2x the optimize throughput of 1 (the DP runs escape the GIL);
+  CI asserts >= 1.5x to absorb runner noise, and the assertion is
+  skipped on hosts with fewer than 4 CPUs, where the speedup cannot
+  physically exist — the snapshot records ``cpu_count`` so the numbers
+  are interpretable either way;
+* killing a worker mid-replay loses no accepted request: the gateway
+  respawns the worker, re-warms its hot cache from the shared tier and
+  replays the in-flight work.
+
+Results land in ``BENCH_serving_cluster.json`` via ``record_snapshot``:
+throughput, p50/p99 latency and the rung distribution per shard count.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster.replay import run_replay
+
+from conftest import record_snapshot
+
+#: Shard counts whose replays are snapshotted (1 is the GIL baseline).
+_SHARD_COUNTS = (1, 4)
+
+#: Mostly-unique workload: every request a distinct query, so throughput
+#: measures optimization work, not cache luck.
+_REQUESTS = 48
+
+_SPEEDUP_FLOOR = 1.5
+
+
+def _summarize(report: dict) -> dict:
+    latency = report["latency"]
+    return {
+        "throughput_qps": round(report["throughput_qps"], 2),
+        "optimize_throughput_qps": round(
+            report["optimize_throughput_qps"], 2
+        ),
+        "wall_seconds": round(report["wall_seconds"], 4),
+        "p50_ms": round(latency.get("p50", 0.0) * 1e3, 2),
+        "p99_ms": round(latency.get("p99", 0.0) * 1e3, 2),
+        "rungs": report["rungs"],
+        "cache_tiers": {
+            k: (round(v, 4) if isinstance(v, float) else v)
+            for k, v in report["cache_tiers"].items()
+        },
+        "accepted": report["accepted"],
+        "answered": report["answered"],
+        "errors": report["errors"],
+        "shed": report["shed"],
+        "lost": report["lost"],
+        "restarts": report["restarts"],
+    }
+
+
+def test_optimize_throughput_scales_with_shards():
+    reports = {}
+    for shards in _SHARD_COUNTS:
+        report = run_replay(
+            shards=shards,
+            n_distinct=_REQUESTS,
+            n_requests=_REQUESTS,
+            seed=7,
+            concurrency=8,
+            min_relations=4,
+            max_relations=5,
+            schedule="unique",  # every request a fresh optimization
+        )
+        assert report["lost"] == 0 and report["errors"] == 0
+        reports[shards] = report
+
+    base = reports[_SHARD_COUNTS[0]]["optimize_throughput_qps"]
+    wide = reports[_SHARD_COUNTS[-1]]["optimize_throughput_qps"]
+    speedup = wide / base if base > 0 else 0.0
+    cpus = os.cpu_count() or 1
+
+    record_snapshot("serving_cluster", {
+        "workload": {
+            "requests": _REQUESTS,
+            "distinct": _REQUESTS,
+            "schedule": "unique",
+            "relations": [4, 5],
+            "seed": 7,
+            "concurrency": 8,
+        },
+        "cpu_count": cpus,
+        "by_shards": {str(s): _summarize(r) for s, r in reports.items()},
+        "speedup_4v1": round(speedup, 3),
+        "speedup_asserted": cpus >= 4,
+    })
+
+    print(f"\noptimize throughput: 1 shard {base:.1f}/s, "
+          f"{_SHARD_COUNTS[-1]} shards {wide:.1f}/s "
+          f"(speedup {speedup:.2f}x on {cpus} CPUs)")
+
+    if cpus >= 4:
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"4-shard optimize throughput only {speedup:.2f}x the 1-shard "
+            f"baseline on {cpus} CPUs (floor {_SPEEDUP_FLOOR}x)"
+        )
+
+
+def test_worker_kill_loses_no_accepted_request():
+    report = run_replay(
+        shards=2,
+        n_distinct=16,
+        n_requests=32,
+        seed=11,
+        concurrency=8,
+        min_relations=3,
+        max_relations=4,
+        kill_worker_at=12,
+    )
+    assert report["restarts"] >= 1, "the drill must actually kill a worker"
+    assert report["lost"] == 0
+    assert report["errors"] == 0
+    assert report["answered"] + report["shed"] == report["accepted"] + report["shed"]
+    assert report["answered"] == report["accepted"]

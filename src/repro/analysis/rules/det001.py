@@ -17,13 +17,23 @@ Flagged (outside test files, which may legitimately want fresh entropy):
 * ``random.<fn>()`` module-level functions of the stdlib ``random``.
 
 Seeded construction (``np.random.default_rng(seed)``) and drawing from
-an explicit generator (``rng.choice(...)``) pass.
+an explicit generator (``rng.choice(...)``) pass — *unless* the seed is
+itself entropy in disguise (``time.time_ns()``, ``os.getpid()``,
+``os.urandom()``...), which is flagged like an unseeded constructor.
+
+Multiprocessing sharpens the stakes: a function handed to
+``multiprocessing.Process(target=...)`` is a **worker entry point**, and
+an unseeded generator built there gives every worker its own
+irreproducible stream (under ``fork`` the workers may even *share* the
+parent's hidden global state).  Findings inside such functions carry a
+worker-specific message: derive the worker's generator from a seed
+passed in explicitly (argument, config field, or wire message).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Set
 
 from ..engine import Finding, ModuleInfo, Rule, register
 from ._util import dotted_name
@@ -46,12 +56,64 @@ _STDLIB_RANDOM_FNS = {
 }
 
 
+#: calls whose value is wall-clock/process entropy — a seed built from
+#: one of these is as unreproducible as no seed at all.
+_ENTROPY_SOURCES = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "os.getpid", "os.urandom", "uuid.uuid4",
+}
+
+
 def _np_random_leaf(name: str) -> Optional[str]:
     """The function name when ``name`` is a ``*.random.<fn>`` chain."""
     parts = name.split(".")
     if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
         return parts[2]
     return None
+
+
+def _entropy_seed_source(call: ast.Call) -> Optional[str]:
+    """The entropy source a seed argument derives from, if any.
+
+    Catches both direct (``default_rng(time.time_ns())``) and derived
+    (``default_rng(os.getpid() % 2**32)``) seeds by walking the whole
+    argument expression.
+    """
+    seed_exprs = list(call.args)
+    seed_exprs.extend(kw.value for kw in call.keywords if kw.arg == "seed")
+    for expr in seed_exprs:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                name = dotted_name(sub.func)
+                if name is not None and name in _ENTROPY_SOURCES:
+                    return name
+    return None
+
+
+def _worker_entry_names(tree: ast.AST) -> Set[str]:
+    """Names of functions handed to ``Process(target=...)``.
+
+    Matches any ``*.Process(...)`` / ``Process(...)`` call — the
+    ``multiprocessing`` module, a ``get_context()`` handle, and aliases
+    all end in the same attribute leaf.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        leaf = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if leaf != "Process":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target = dotted_name(kw.value)
+                if target is not None:
+                    names.add(target.split(".")[-1])
+    return names
 
 
 @register
@@ -65,6 +127,7 @@ class DeterminismRule(Rule):
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         if module.is_test:
             return
+        workers = _worker_entry_names(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -72,6 +135,7 @@ class DeterminismRule(Rule):
             if name is None:
                 continue
             unseeded = not node.args and not node.keywords
+            suffix = self._worker_suffix(module, node, workers)
 
             leaf = _np_random_leaf(name)
             if leaf is not None:
@@ -80,13 +144,23 @@ class DeterminismRule(Rule):
                         yield self.finding(
                             module, node,
                             f"{name}() without a seed is unreproducible; "
-                            f"pass an explicit seed",
+                            f"pass an explicit seed{suffix}",
                         )
+                    else:
+                        source = _entropy_seed_source(node)
+                        if source is not None:
+                            yield self.finding(
+                                module, node,
+                                f"{name}() seeded from {source}() is "
+                                f"entropy in disguise; pass an explicit "
+                                f"seed{suffix}",
+                            )
                 elif leaf not in _NP_RANDOM_SAFE:
                     yield self.finding(
                         module, node,
                         f"{name}() uses numpy's hidden global RNG; draw "
-                        f"from an explicit np.random.Generator instead",
+                        f"from an explicit np.random.Generator "
+                        f"instead{suffix}",
                     )
                 continue
 
@@ -96,12 +170,36 @@ class DeterminismRule(Rule):
                     if unseeded:
                         yield self.finding(
                             module, node,
-                            "random.Random() without a seed is "
-                            "unreproducible; pass an explicit seed",
+                            f"random.Random() without a seed is "
+                            f"unreproducible; pass an explicit seed{suffix}",
                         )
+                    else:
+                        source = _entropy_seed_source(node)
+                        if source is not None:
+                            yield self.finding(
+                                module, node,
+                                f"random.Random() seeded from {source}() "
+                                f"is entropy in disguise; pass an explicit "
+                                f"seed{suffix}",
+                            )
                 elif parts[1] in _STDLIB_RANDOM_FNS:
                     yield self.finding(
                         module, node,
                         f"{name}() uses the stdlib's hidden global RNG; "
-                        f"use a seeded np.random.Generator instead",
+                        f"use a seeded np.random.Generator instead{suffix}",
                     )
+
+    def _worker_suffix(self, module: ModuleInfo, node: ast.AST,
+                       workers: Set[str]) -> str:
+        """Worker-specific message tail when ``node`` sits in an entry point."""
+        if not workers:
+            return ""
+        for anc in module.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and anc.name in workers:
+                return (
+                    f" ({anc.name}() is a Process target: each worker "
+                    f"needs a seed handed in explicitly, or replays "
+                    f"diverge per process)"
+                )
+        return ""

@@ -1,0 +1,60 @@
+"""``repro.cluster``: the sharded multi-process serving tier.
+
+Scales :class:`~repro.serving.service.OptimizerService` past the GIL:
+an asyncio :class:`~repro.cluster.gateway.ClusterGateway` fingerprints,
+coalesces and routes requests to N worker processes (fingerprint-hash
+sharding), each worker serving from a two-tier plan cache
+(:class:`~repro.cluster.shared_cache.TieredPlanCache`: private hot LRU
+over a cluster-shared serialized tier), with
+:class:`~repro.cluster.admission.AdmissionController` shedding load
+onto the full→coarse→LSC degradation ladder before deadlines blow.
+
+``python -m repro.cluster`` replays a Zipf workload and reports
+throughput, p50/p99, cache-tier hit rates and the rung distribution.
+"""
+
+from .admission import ADMIT, DEGRADE, SHED, AdmissionController, AdmissionDecision
+from .gateway import ClusterGateway, ClusterResult, GatewayError
+from .metrics import ClusterMetrics
+from .protocol import FrameDecoder, ProtocolError, encode_frame, read_frame, write_frame
+from .replay import build_workload, replay, run_replay
+from .shared_cache import (
+    DigestKey,
+    SharedCacheState,
+    SharedPlanTier,
+    TieredPlanCache,
+    cache_key_digest,
+    fingerprint_digest,
+    make_shared_state,
+)
+from .worker import VersionShim, WorkerConfig, worker_main
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "ClusterGateway",
+    "ClusterResult",
+    "ClusterMetrics",
+    "GatewayError",
+    "FrameDecoder",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "build_workload",
+    "replay",
+    "run_replay",
+    "DigestKey",
+    "SharedCacheState",
+    "SharedPlanTier",
+    "TieredPlanCache",
+    "cache_key_digest",
+    "fingerprint_digest",
+    "make_shared_state",
+    "VersionShim",
+    "WorkerConfig",
+    "worker_main",
+]

@@ -1,0 +1,177 @@
+"""Admission control: spend optimization effort only where it can pay.
+
+PAOQ frames optimization itself as a budgeted cost; under load that
+budget is set by the queue, not the client.  The controller looks at one
+shard's queue depth and an EWMA of recent service times and places each
+arriving request into one of three outcomes *before* any work starts:
+
+``admit``
+    The shard is comfortably inside its soft limit: the request runs
+    with whatever deadline the client asked for (the full rung when the
+    budget allows — no quality is given up without pressure).
+``degrade``
+    The shard is between its soft and hard limits: the request is
+    accepted, but its effective deadline is squeezed to the time the
+    queue can actually afford.  The worker's existing full → coarse →
+    LSC ladder then sheds the load *qualitatively* — cheaper plans, not
+    dropped requests — exactly the degradation path PR 2 built.
+``shed``
+    The shard is beyond its hard limit: the request is refused up
+    front with an explicit signal.  Refusal-at-the-door is the only
+    drop the cluster ever performs; once accepted, a request is always
+    answered (degraded or retried, never lost).
+
+The controller is pure bookkeeping — no threads, no I/O — so its policy
+is unit-testable without a cluster.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionDecision",
+    "AdmissionController",
+]
+
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One request's fate: the action plus the deadline it runs under."""
+
+    action: str  # ADMIT / DEGRADE / SHED
+    effective_deadline: Optional[float]  # seconds; None = unbounded
+    queue_depth: int
+    reason: str
+
+    @property
+    def accepted(self) -> bool:
+        """True unless the request was shed at the door."""
+        return self.action != SHED
+
+
+class AdmissionController:
+    """Queue-depth and deadline-aware admission for one gateway.
+
+    Parameters
+    ----------
+    soft_limit:
+        Per-shard queue depth beyond which requests are admitted with a
+        squeezed deadline (quality shed onto the ladder).
+    hard_limit:
+        Per-shard queue depth at which requests are refused outright.
+    min_deadline:
+        Floor (seconds) for a squeezed deadline — below this the worker
+        could not even run the LSC rung comfortably, so squeezing stops
+        here rather than producing meaningless budgets.
+    alpha:
+        EWMA weight for observed per-request service times.
+    """
+
+    def __init__(
+        self,
+        soft_limit: int = 8,
+        hard_limit: int = 64,
+        min_deadline: float = 0.01,
+        alpha: float = 0.2,
+    ):
+        if soft_limit < 1:
+            raise ValueError("soft_limit must be >= 1")
+        if hard_limit <= soft_limit:
+            raise ValueError("hard_limit must exceed soft_limit")
+        if min_deadline <= 0:
+            raise ValueError("min_deadline must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.soft_limit = soft_limit
+        self.hard_limit = hard_limit
+        self.min_deadline = min_deadline
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._service_ewma: Optional[float] = None
+        self._decisions: Dict[str, int] = {ADMIT: 0, DEGRADE: 0, SHED: 0}
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Fold one completed request's service time into the EWMA."""
+        seconds = float(seconds)
+        with self._lock:
+            if self._service_ewma is None:
+                self._service_ewma = seconds
+            else:
+                self._service_ewma = (
+                    (1 - self.alpha) * self._service_ewma + self.alpha * seconds
+                )
+
+    @property
+    def predicted_service_time(self) -> Optional[float]:
+        """Current EWMA of per-request service time (None before data)."""
+        with self._lock:
+            return self._service_ewma
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+
+    def decide(self, queue_depth: int,
+               deadline: Optional[float]) -> AdmissionDecision:
+        """Place one arriving request given its target shard's depth."""
+        depth = int(queue_depth)
+        if depth >= self.hard_limit:
+            return self._record(AdmissionDecision(
+                SHED, None, depth,
+                f"queue depth {depth} >= hard limit {self.hard_limit}",
+            ))
+        if depth < self.soft_limit:
+            return self._record(AdmissionDecision(
+                ADMIT, deadline, depth, "below soft limit",
+            ))
+        # Soft pressure: squeeze the budget so the ladder sheds quality.
+        # The request's fair share of worker time shrinks linearly as the
+        # queue approaches the hard limit.
+        pressure = (depth - self.soft_limit + 1) / (
+            self.hard_limit - self.soft_limit
+        )
+        predicted = self.predicted_service_time
+        base = deadline
+        if base is None:
+            # No client budget: derive one from observed service times so
+            # an unbounded request cannot monopolize a loaded shard.
+            base = (predicted if predicted is not None else self.min_deadline) * 4
+        squeezed = max(self.min_deadline, base * (1.0 - pressure))
+        effective = squeezed if deadline is None else min(deadline, squeezed)
+        return self._record(AdmissionDecision(
+            DEGRADE, effective, depth,
+            f"queue depth {depth} >= soft limit {self.soft_limit} "
+            f"(pressure {pressure:.2f})",
+        ))
+
+    def _record(self, decision: AdmissionDecision) -> AdmissionDecision:
+        with self._lock:
+            self._decisions[decision.action] += 1
+        return decision
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Decision counts plus the current service-time estimate."""
+        with self._lock:
+            out: Dict[str, float] = dict(self._decisions)
+            out["service_time_ewma"] = (
+                self._service_ewma if self._service_ewma is not None else 0.0
+            )
+        return out

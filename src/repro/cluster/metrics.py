@@ -1,0 +1,117 @@
+"""Cluster-wide metrics: gateway-side instruments + per-shard aggregation.
+
+The gateway observes what workers cannot (coalescing, admission
+decisions, retries, restarts, end-to-end latency including queueing and
+the wire), while each worker's pong carries its own
+:class:`~repro.serving.metrics.MetricsRegistry` snapshot and per-tier
+cache stats.  :meth:`ClusterMetrics.aggregate` folds both views into
+one report — the numbers the replay driver prints and the benchmark
+snapshots: throughput inputs, p50/p99, cache-tier hit rates, and the
+rung distribution per shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..serving.metrics import MetricsRegistry
+
+__all__ = ["ClusterMetrics"]
+
+#: Ladder rungs in quality order (mirrors repro.serving.service).
+_RUNGS = ("full", "coarse", "lsc")
+
+
+class ClusterMetrics:
+    """Gateway-side instruments plus shard-snapshot aggregation."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Gateway-side observation
+    # ------------------------------------------------------------------
+
+    def observe_request(self, latency: float, rung: Optional[str],
+                        cache_tier: Optional[str], cache_hit: bool,
+                        retried: bool) -> None:
+        """Record one answered request at the gateway."""
+        self.registry.histogram("cluster.latency").record(latency)
+        if rung:
+            self.registry.counter(f"cluster.rung.{rung}").increment()
+        if cache_hit:
+            tier = cache_tier if cache_tier in ("hot", "shared") else "hot"
+            self.registry.counter(f"cluster.cache.{tier}_hits").increment()
+        else:
+            self.registry.counter("cluster.cache.misses").increment()
+        if retried:
+            self.registry.counter("cluster.answered_after_retry").increment()
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def aggregate(
+        self,
+        pongs: Sequence[Optional[Dict[str, Any]]],
+        shed_depths: Sequence[int] = (),
+        restarts: Sequence[int] = (),
+        admission: Optional[Dict[str, float]] = None,
+        shared_entries: int = 0,
+    ) -> Dict[str, Any]:
+        """One cluster-wide report from gateway state + worker pongs."""
+        snap = self.registry.snapshot()
+        counters = snap["counters"]
+        latency = snap["histograms"].get("cluster.latency", {"count": 0})
+
+        shards: List[Dict[str, Any]] = []
+        total_rungs = {r: 0 for r in _RUNGS}
+        for i, pong in enumerate(pongs):
+            if pong is None:
+                shards.append({"shard": i, "alive": False})
+                continue
+            worker_counters = (
+                pong.get("metrics", {}).get("counters", {})
+            )
+            rungs = {
+                r: int(worker_counters.get(f"serving.rung.{r}", 0))
+                for r in _RUNGS
+            }
+            for r in _RUNGS:
+                total_rungs[r] += rungs[r]
+            cache = pong.get("cache", {})
+            shards.append({
+                "shard": i,
+                "alive": True,
+                "queue_depth": pong.get("queue_depth", 0),
+                "pending_at_gateway": (
+                    shed_depths[i] if i < len(shed_depths) else 0
+                ),
+                "restarts": restarts[i] if i < len(restarts) else 0,
+                "warmed": pong.get("warmed", 0),
+                "version": pong.get("version"),
+                "rungs": rungs,
+                "cache": cache,
+            })
+
+        hot = int(counters.get("cluster.cache.hot_hits", 0))
+        shared = int(counters.get("cluster.cache.shared_hits", 0))
+        misses = int(counters.get("cluster.cache.misses", 0))
+        lookups = hot + shared + misses
+        return {
+            "gateway": counters,
+            "latency": latency,
+            "rungs": total_rungs,
+            "cache_tiers": {
+                "hot_hits": hot,
+                "shared_hits": shared,
+                "misses": misses,
+                "hot_hit_rate": hot / lookups if lookups else 0.0,
+                "shared_hit_rate": shared / lookups if lookups else 0.0,
+                "any_hit_rate": (hot + shared) / lookups if lookups else 0.0,
+                "shared_entries": shared_entries,
+            },
+            "admission": dict(admission or {}),
+            "restarts": sum(restarts),
+            "shards": shards,
+        }

@@ -106,7 +106,7 @@ class LatencyHistogram:
         return window[rank]
 
     def snapshot(self) -> Dict[str, float]:
-        """Summary dict: count, mean, min/max, p50/p95 over the window."""
+        """Summary dict: count, mean, min/max, p50/p95/p99 over the window."""
         with self._lock:
             window = sorted(self._window())
             count, total = self._count, self._sum
@@ -125,6 +125,7 @@ class LatencyHistogram:
             "max": hi,
             "p50": _pct(50.0),
             "p95": _pct(95.0),
+            "p99": _pct(99.0),
         }
 
 

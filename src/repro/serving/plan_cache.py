@@ -80,11 +80,18 @@ class PlanCacheKey(NamedTuple):
 
 @dataclass(frozen=True)
 class CachedPlan:
-    """A deserialized cache hit: the plan, its objective value, its rung."""
+    """A deserialized cache hit: the plan, its objective value, its rung.
+
+    ``tier`` names which cache tier satisfied the lookup — ``"hot"`` for
+    this in-process LRU; the cluster's
+    :class:`~repro.cluster.shared_cache.TieredPlanCache` reports
+    ``"shared"`` for hits served from the cross-process tier.
+    """
 
     plan: Plan
     objective_value: float
     rung: str
+    tier: str = "hot"
 
 
 @dataclass

@@ -124,6 +124,7 @@ class ServingResult:
     deadline: Optional[float] = None
     deadline_exceeded: bool = False
     skipped_rungs: Tuple[str, ...] = ()
+    cache_tier: Optional[str] = None  # "hot"/"shared" on a hit, else None
 
     @property
     def degraded(self) -> bool:
@@ -238,14 +239,42 @@ class OptimizerService:
         )
         self._version_lock = threading.Lock()
         self._last_version = self._catalog_version()
+        self._pending_lock = threading.Lock()
+        self._pending: "set[Future]" = set()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def close(self) -> None:
-        """Shut the worker pool down (waits for in-flight requests)."""
-        self._pool.shutdown(wait=True)
+    def pending_requests(self) -> int:
+        """Submitted requests not yet finished (queued or in flight)."""
+        with self._pending_lock:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun; new submissions are refused."""
+        return self._closed
+
+    def close(self, cancel_pending: bool = True) -> None:
+        """Shut the pool down so the hosting process can exit promptly.
+
+        Queued-but-unstarted futures are cancelled (``cancel_pending``,
+        default) and in-flight requests are drained — Python threads
+        cannot be interrupted mid-optimization, so the running ones are
+        waited for, but nothing behind them starts.  Without the
+        cancellation a deep queue would keep the pool (and any worker
+        process hosting it) alive until every request ran to completion.
+        Idempotent; :meth:`submit` after close raises ``RuntimeError``.
+        """
+        with self._pending_lock:
+            self._closed = True
+        self._pool.shutdown(wait=True, cancel_futures=cancel_pending)
+        # Cancelled futures never ran _execute; drop them from the
+        # pending set so accounting ends at zero.
+        with self._pending_lock:
+            self._pending = {f for f in self._pending if not f.cancelled()}
 
     def __enter__(self) -> "OptimizerService":
         return self
@@ -268,7 +297,20 @@ class OptimizerService:
             request = OptimizeRequest(**kwargs)
         elif kwargs:
             request = replace(request, **kwargs)
-        return self._pool.submit(self._execute, request)
+        return self._submit(request)
+
+    def _submit(self, request: OptimizeRequest) -> "Future[ServingResult]":
+        with self._pending_lock:
+            if self._closed:
+                raise RuntimeError("OptimizerService is closed")
+            future = self._pool.submit(self._execute, request)
+            self._pending.add(future)
+        future.add_done_callback(self._request_done)
+        return future
+
+    def _request_done(self, future: "Future[ServingResult]") -> None:
+        with self._pending_lock:
+            self._pending.discard(future)
 
     def optimize(self, query: JoinQuery, objective: str = "lec",
                  **kwargs) -> ServingResult:
@@ -281,7 +323,7 @@ class OptimizerService:
         self, requests: Iterable[OptimizeRequest]
     ) -> List[ServingResult]:
         """Run many requests on the pool; results in request order."""
-        futures = [self._pool.submit(self._execute, r) for r in requests]
+        futures = [self._submit(r) for r in requests]
         return [f.result() for f in futures]
 
     def metrics_snapshot(self) -> Dict:
@@ -348,6 +390,7 @@ class OptimizerService:
                     cache_hit=True,
                     latency=latency,
                     deadline=self._deadline_of(request),
+                    cache_tier=getattr(hit, "tier", "hot"),
                 )
 
         result, rung, skipped = self._run_ladder(request, kind, cm, t0)

@@ -19,9 +19,12 @@ import math
 from typing import Any, Dict
 
 from ..core.distributions import DiscreteDistribution
+from ..core.markov import MarkovParameter
 from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
 from ..plans.nodes import Union as UnionNode
 from ..plans.properties import AccessPath, JoinMethod
+from ..plans.query import IndexInfo, JoinPredicate, JoinQuery, QueryError, RelationSpec
+from ..plans.spju import UnionQuery
 from ..strategies.choice_nodes import ChoicePlan
 from ..strategies.parametric import ParametricPlanSet, _Region
 
@@ -31,6 +34,10 @@ __all__ = [
     "plan_from_dict",
     "distribution_to_dict",
     "distribution_from_dict",
+    "markov_to_dict",
+    "markov_from_dict",
+    "query_to_dict",
+    "query_from_dict",
     "choice_plan_to_dict",
     "choice_plan_from_dict",
     "parametric_to_dict",
@@ -190,6 +197,159 @@ def distribution_from_dict(doc: Dict[str, Any]) -> DiscreteDistribution:
         raise SerializationError(f"bad distribution document: {exc}") from None
 
 
+def markov_to_dict(param: MarkovParameter) -> Dict[str, Any]:
+    """Encode a Markov-chain parameter (states, initial, transition)."""
+    return {
+        "kind": "markov_parameter",
+        "version": 1,
+        "states": [float(s) for s in param.states],
+        "initial": [float(p) for p in param.initial],
+        "transition": [[float(t) for t in row] for row in param.transition],
+    }
+
+
+def markov_from_dict(doc: Dict[str, Any]) -> MarkovParameter:
+    """Decode a Markov-chain parameter."""
+    if not isinstance(doc, dict) or doc.get("kind") != "markov_parameter":
+        raise SerializationError("not a markov parameter document")
+    try:
+        return MarkovParameter(doc["states"], doc["initial"], doc["transition"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"bad markov parameter document: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+def _relation_to_dict(rel: RelationSpec) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"name": rel.name, "pages": float(rel.pages)}
+    if rel.rows is not None:
+        doc["rows"] = float(rel.rows)
+    if rel.pages_dist is not None:
+        doc["pages_dist"] = distribution_to_dict(rel.pages_dist)
+    doc["filter_selectivity"] = float(rel.filter_selectivity)
+    if rel.index is not None:
+        doc["index"] = {
+            "height": rel.index.height,
+            "clustered": rel.index.clustered,
+        }
+    return doc
+
+
+def _relation_from_dict(doc: Dict[str, Any]) -> RelationSpec:
+    index = None
+    if doc.get("index") is not None:
+        idx = doc["index"]
+        index = IndexInfo(
+            height=int(idx.get("height", 2)),
+            clustered=bool(idx.get("clustered", False)),
+        )
+    pages_dist = None
+    if doc.get("pages_dist") is not None:
+        pages_dist = distribution_from_dict(doc["pages_dist"])
+    return RelationSpec(
+        name=doc["name"],
+        pages=float(doc["pages"]),
+        rows=None if doc.get("rows") is None else float(doc["rows"]),
+        pages_dist=pages_dist,
+        filter_selectivity=float(doc.get("filter_selectivity", 1.0)),
+        index=index,
+    )
+
+
+def _predicate_to_dict(pred: JoinPredicate) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "left": pred.left,
+        "right": pred.right,
+        "selectivity": float(pred.selectivity),
+        "label": pred.label,
+    }
+    if pred.selectivity_dist is not None:
+        doc["selectivity_dist"] = distribution_to_dict(pred.selectivity_dist)
+    if pred.result_pages_override is not None:
+        doc["result_pages_override"] = float(pred.result_pages_override)
+    if pred.equiv_class is not None:
+        doc["equiv_class"] = pred.equiv_class
+    return doc
+
+
+def _predicate_from_dict(doc: Dict[str, Any]) -> JoinPredicate:
+    sel_dist = None
+    if doc.get("selectivity_dist") is not None:
+        sel_dist = distribution_from_dict(doc["selectivity_dist"])
+    override = doc.get("result_pages_override")
+    return JoinPredicate(
+        left=doc["left"],
+        right=doc["right"],
+        selectivity=float(doc["selectivity"]),
+        label=doc.get("label"),
+        selectivity_dist=sel_dist,
+        result_pages_override=None if override is None else float(override),
+        equiv_class=doc.get("equiv_class"),
+    )
+
+
+def _join_query_to_dict(query: JoinQuery) -> Dict[str, Any]:
+    return {
+        "relations": [_relation_to_dict(r) for r in query.relations],
+        "predicates": [_predicate_to_dict(p) for p in query.predicates],
+        "required_order": query.required_order,
+        "rows_per_page": query.rows_per_page,
+        "projection_ratio": float(query.projection_ratio),
+    }
+
+
+def _join_query_from_dict(doc: Dict[str, Any]) -> JoinQuery:
+    return JoinQuery(
+        relations=[_relation_from_dict(r) for r in doc["relations"]],
+        predicates=[_predicate_from_dict(p) for p in doc.get("predicates", ())],
+        required_order=doc.get("required_order"),
+        rows_per_page=int(doc.get("rows_per_page", 100)),
+        projection_ratio=float(doc.get("projection_ratio", 1.0)),
+    )
+
+
+def query_to_dict(query: JoinQuery) -> Dict[str, Any]:
+    """Encode a logical query block — the cluster tier's request wire format.
+
+    Plain :class:`JoinQuery` blocks carry their relations (with optional
+    size distributions and index info) and predicates (with optional
+    selectivity distributions); a :class:`UnionQuery` nests its arms.
+    """
+    if isinstance(query, UnionQuery):
+        return {
+            "kind": "query",
+            "version": 1,
+            "union": {
+                "distinct": query.distinct,
+                "arms": [_join_query_to_dict(a) for a in query.arms],
+            },
+        }
+    doc = _join_query_to_dict(query)
+    doc["kind"] = "query"
+    doc["version"] = 1
+    return doc
+
+
+def query_from_dict(doc: Dict[str, Any]) -> JoinQuery:
+    """Decode a logical query block (plain or union);
+    raises :class:`SerializationError` if invalid."""
+    if not isinstance(doc, dict) or doc.get("kind") != "query":
+        raise SerializationError("not a query document")
+    version = doc.get("version", 1)
+    if version != 1:
+        raise SerializationError(f"unsupported query document version {version!r}")
+    try:
+        union = doc.get("union")
+        if union is not None:
+            arms = [_join_query_from_dict(a) for a in union["arms"]]
+            return UnionQuery(arms, distinct=bool(union.get("distinct", False)))
+        return _join_query_from_dict(doc)
+    except (KeyError, ValueError, TypeError, QueryError) as exc:
+        raise SerializationError(f"bad query document: {exc}") from None
+
+
 # ----------------------------------------------------------------------
 # Plan stores (parametric / choice)
 # ----------------------------------------------------------------------
@@ -261,6 +421,8 @@ def parametric_from_dict(doc: Dict[str, Any]) -> ParametricPlanSet:
 _DECODERS = {
     "plan": plan_from_dict,
     "distribution": distribution_from_dict,
+    "markov_parameter": markov_from_dict,
+    "query": query_from_dict,
     "choice_plan": choice_plan_from_dict,
     "parametric_plan_set": parametric_from_dict,
 }
@@ -272,6 +434,10 @@ def dumps(obj) -> str:
         doc = plan_to_dict(obj)
     elif isinstance(obj, DiscreteDistribution):
         doc = distribution_to_dict(obj)
+    elif isinstance(obj, MarkovParameter):
+        doc = markov_to_dict(obj)
+    elif isinstance(obj, JoinQuery):
+        doc = query_to_dict(obj)
     elif isinstance(obj, ChoicePlan):
         doc = choice_plan_to_dict(obj)
     elif isinstance(obj, ParametricPlanSet):

@@ -117,6 +117,48 @@ class TestLock001:
             """
         assert run_rule("LOCK001", src) == []
 
+    def test_manager_lock_counts_as_guard(self):
+        # multiprocessing: a lock minted off a Manager() call chain is a
+        # real guard — the class gets the same discipline (fires on the
+        # unlocked write, quiet under `with self._lock:`).
+        bad = """
+            from multiprocessing import Manager
+
+            class SharedTier:
+                def __init__(self):
+                    self._lock = Manager().Lock()
+                    self._entries = {}
+
+                def put(self, key, value):
+                    self._entries[key] = value
+            """
+        findings = run_rule("LOCK001", bad)
+        assert len(findings) == 1
+        assert "_entries" in findings[0].message
+
+        good = bad.replace(
+            "    self._entries[key] = value",
+            "    with self._lock:\n"
+            "                        self._entries[key] = value",
+        )
+        assert run_rule("LOCK001", good) == []
+
+    def test_context_lock_counts_as_guard(self):
+        src = """
+            import multiprocessing
+
+            class Coordinator:
+                def __init__(self):
+                    self._lock = multiprocessing.get_context("fork").RLock()
+                    self._pending = []
+
+                def enqueue(self, item):
+                    self._pending.append(item)
+            """
+        findings = run_rule("LOCK001", src)
+        assert len(findings) == 1
+        assert "_pending" in findings[0].message
+
 
 class TestVer001:
     BAD = """
@@ -267,6 +309,60 @@ class TestDet001:
             "import numpy as np\n"
             "def f(rng: np.random.Generator) -> None:\n"
             "    pass\n"
+        )
+        assert run_rule("DET001", src) == []
+
+    def test_fires_on_time_derived_seed(self):
+        src = (
+            "import time\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(time.time_ns())\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "time.time_ns" in findings[0].message
+
+    def test_fires_on_pid_derived_seed(self):
+        # A derived expression still counts: the pid is the entropy.
+        src = (
+            "import os\n"
+            "import random\n"
+            "r = random.Random(os.getpid() % 2**31)\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "os.getpid" in findings[0].message
+
+    def test_worker_entry_point_gets_worker_message(self):
+        src = (
+            "import multiprocessing\n"
+            "import numpy as np\n"
+            "\n"
+            "def worker_main(sock):\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng\n"
+            "\n"
+            "def spawn():\n"
+            "    p = multiprocessing.Process(target=worker_main, args=(1,))\n"
+            "    p.start()\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "Process target" in findings[0].message
+        assert "worker_main" in findings[0].message
+
+    def test_seeded_worker_entry_point_is_quiet(self):
+        src = (
+            "import multiprocessing\n"
+            "import numpy as np\n"
+            "\n"
+            "def worker_main(sock, seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng\n"
+            "\n"
+            "def spawn():\n"
+            "    p = multiprocessing.Process(target=worker_main, args=(1, 7))\n"
+            "    p.start()\n"
         )
         assert run_rule("DET001", src) == []
 

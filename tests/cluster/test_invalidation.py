@@ -1,0 +1,141 @@
+"""Cross-process cache invalidation: a catalog bump on the gateway side
+must fence out every cached plan in the cluster — each worker's hot LRU
+*and* the shared serialized tier.
+
+This is the cluster version of ``tests/serving/test_invalidation.py``:
+same StatisticsCatalog / SelectivityFeedback version sources, but the
+plans now live in other processes, reached only through the gateway's
+version-broadcast frames and the digested cache keys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.catalog.feedback import SelectivityFeedback
+from repro.catalog.schema import Catalog, Column, Table
+from repro.catalog.statistics import StatisticsCatalog
+from repro.cluster import ClusterGateway
+from repro.core.distributions import DiscreteDistribution
+from repro.engine.executor import JoinObservation
+from repro.plans.query import JoinPredicate, JoinQuery, RelationSpec
+from repro.serving.service import OptimizeRequest
+
+_MEMORY = DiscreteDistribution([300.0, 900.0], [0.5, 0.5])
+
+
+@pytest.fixture
+def stats_catalog() -> StatisticsCatalog:
+    schema = Catalog(
+        [
+            Table("R", [Column("a"), Column("b")], n_rows=5_000_000),
+            Table("S", [Column("b"), Column("c")], n_rows=800_000),
+            Table("T", [Column("c")], n_rows=100_000),
+        ]
+    )
+    return StatisticsCatalog(schema)
+
+
+def _fixed_query() -> JoinQuery:
+    """A stable query (constant fingerprint) independent of the catalog."""
+    rels = [
+        RelationSpec(name="R", pages=5000.0),
+        RelationSpec(name="S", pages=800.0),
+        RelationSpec(name="T", pages=100.0),
+    ]
+    return JoinQuery(
+        rels,
+        [
+            JoinPredicate("R", "S", 0.001, label="R=S"),
+            JoinPredicate("S", "T", 0.01, label="S=T"),
+        ],
+    )
+
+
+def _request() -> OptimizeRequest:
+    return OptimizeRequest(query=_fixed_query(), objective="lec",
+                           memory=_MEMORY)
+
+
+class TestClusterInvalidation:
+    def test_analyze_fences_every_tier_on_every_shard(self, stats_catalog):
+        async def scenario():
+            async with ClusterGateway(
+                shards=2, catalog_sources=[stats_catalog]
+            ) as gw:
+                miss = await gw.optimize(_request())
+                hit = await gw.optimize(_request())
+                shared_before = len(gw.shared_tier)
+
+                # ANALYZE lands on the gateway side of the wall.
+                stats_catalog.analyze_column("R", "a", np.arange(2_000.0))
+
+                after = await gw.optimize(_request())
+                pongs = await gw.check_health()
+                return miss, hit, shared_before, after, len(gw.shared_tier), pongs
+
+        miss, hit, shared_before, after, shared_after, pongs = (
+            asyncio.run(scenario())
+        )
+        assert not miss.cache_hit and hit.cache_hit
+        assert shared_before == 1
+
+        # The stale plan was refused everywhere: the follow-up request
+        # re-optimized, and the shared tier holds only the fresh entry.
+        assert not after.cache_hit
+        assert shared_after == 1
+
+        # Every worker saw the new fence (the broadcast precedes the
+        # request on the wire), and the owning worker's hot LRU purged
+        # its stale entry rather than waiting for LRU pressure.
+        new_version = [stats_catalog.version]
+        owner = after.shard
+        for pong in pongs:
+            assert pong is not None
+            assert pong["version"] == new_version
+        assert pongs[owner]["cache"]["hot"]["invalidations"] >= 1
+
+    def test_feedback_fences_like_analyze(self, stats_catalog):
+        feedback = SelectivityFeedback()
+
+        async def scenario():
+            async with ClusterGateway(
+                shards=2, catalog_sources=[stats_catalog, feedback]
+            ) as gw:
+                await gw.optimize(_request())
+                hit = await gw.optimize(_request())
+
+                feedback.record([JoinObservation("R=S", 1000, 1000, 42)])
+
+                after = await gw.optimize(_request())
+                pongs = await gw.check_health()
+                return hit, after, pongs
+
+        hit, after, pongs = asyncio.run(scenario())
+        assert hit.cache_hit
+        assert not after.cache_hit
+        # The fence is the tuple of *all* source versions, in order.
+        expected = [stats_catalog.version, feedback.version]
+        for pong in pongs:
+            assert pong is not None
+            assert pong["version"] == expected
+
+    def test_fresh_version_caches_normally_after_fence(self, stats_catalog):
+        async def scenario():
+            async with ClusterGateway(
+                shards=1, catalog_sources=[stats_catalog]
+            ) as gw:
+                await gw.optimize(_request())
+                stats_catalog.set_size_distribution(
+                    "T", DiscreteDistribution([80.0, 120.0], [0.5, 0.5])
+                )
+                re_opt = await gw.optimize(_request())
+                re_hit = await gw.optimize(_request())
+                return re_opt, re_hit
+
+        re_opt, re_hit = asyncio.run(scenario())
+        assert not re_opt.cache_hit
+        assert re_hit.cache_hit  # the new world caches under the new fence

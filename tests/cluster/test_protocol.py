@@ -1,0 +1,134 @@
+"""Framing and memory-document tests for the gateway↔worker wire protocol."""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    decode_memory,
+    encode_frame,
+    encode_memory,
+    read_frame,
+    write_frame,
+)
+from repro.core.distributions import DiscreteDistribution
+from repro.core.markov import MarkovParameter
+
+
+class TestFraming:
+    def test_write_then_read_roundtrips(self):
+        buf = io.BytesIO()
+        messages = [
+            {"type": "optimize", "id": 1, "objective": "lec"},
+            {"type": "result", "id": 1, "objective_value": 3.5},
+            {"type": "ping", "seq": 9},
+        ]
+        for m in messages:
+            write_frame(buf, m)
+        buf.seek(0)
+        assert [read_frame(buf) for _ in messages] == messages
+        assert read_frame(buf) is None  # clean EOF
+
+    def test_read_truncated_frame_raises(self):
+        frame = encode_frame({"type": "ping", "seq": 1})
+        buf = io.BytesIO(frame[:-3])
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_frame(buf)
+
+    def test_oversized_length_prefix_raises(self):
+        buf = io.BytesIO(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x")
+        with pytest.raises(ProtocolError, match="exceeds limit"):
+            read_frame(buf)
+
+    def test_untyped_payload_raises(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        buf = io.BytesIO(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="typed message"):
+            read_frame(buf)
+
+    def test_unencodable_message_raises(self):
+        with pytest.raises(ProtocolError, match="unencodable"):
+            encode_frame({"type": "result", "plan": object()})
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_chunks(self):
+        messages = [{"type": "ping", "seq": i} for i in range(3)]
+        wire = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i:i + 1]))
+        assert out == messages
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_chunk(self):
+        messages = [{"type": "result", "id": i} for i in range(5)]
+        decoder = FrameDecoder()
+        out = list(decoder.feed(b"".join(encode_frame(m) for m in messages)))
+        assert out == messages
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_frame({"type": "pong", "seq": 2})
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame[:5])) == []
+        assert decoder.pending_bytes == 5
+        assert list(decoder.feed(frame[5:])) == [{"type": "pong", "seq": 2}]
+
+    def test_corrupt_length_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="exceeds limit"):
+            list(decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 7)))
+
+
+class TestMemoryDocuments:
+    def test_scalar_roundtrip(self):
+        assert decode_memory(encode_memory(800)) == 800.0
+        assert decode_memory(encode_memory(1.5)) == 1.5
+
+    def test_none_passes_through(self):
+        assert encode_memory(None) is None
+        assert decode_memory(None) is None
+
+    def test_distribution_roundtrip(self):
+        dist = DiscreteDistribution([100.0, 900.0], [0.3, 0.7])
+        out = decode_memory(encode_memory(dist))
+        assert isinstance(out, DiscreteDistribution)
+        assert list(out.values) == [100.0, 900.0]
+        assert list(out.probs) == [0.3, 0.7]
+
+    def test_markov_roundtrip(self):
+        param = MarkovParameter(
+            states=[100.0, 1000.0],
+            initial=[0.5, 0.5],
+            transition=[[0.9, 0.1], [0.2, 0.8]],
+        )
+        out = decode_memory(encode_memory(param))
+        assert isinstance(out, MarkovParameter)
+        assert list(out.states) == [100.0, 1000.0]
+
+    def test_json_wire_safety(self):
+        # What optimize frames actually carry: the document must survive
+        # a JSON round trip, not just a Python one.
+        dist = DiscreteDistribution([1.0, 2.0], [0.5, 0.5])
+        doc = json.loads(json.dumps(encode_memory(dist)))
+        assert isinstance(decode_memory(doc), DiscreteDistribution)
+
+    def test_unsupported_memory_type_raises(self):
+        with pytest.raises(ProtocolError, match="unsupported"):
+            encode_memory(object())  # type: ignore[arg-type]
+
+    def test_bad_documents_raise(self):
+        with pytest.raises(ProtocolError, match="unknown memory document"):
+            decode_memory({"kind": "mystery"})
+        with pytest.raises(ProtocolError, match="must be a dict"):
+            decode_memory([1, 2])  # type: ignore[arg-type]
+        with pytest.raises(ProtocolError, match="bad memory document"):
+            decode_memory({"kind": "scalar"})

@@ -1,0 +1,224 @@
+"""Digest stability and two-tier behaviour of the cluster plan cache.
+
+The shared tier normally lives on a ``multiprocessing.Manager``; these
+unit tests substitute plain dicts and a ``threading.Lock`` (the tier is
+duck-typed over the proxy API), keeping them fast and single-process.
+Cross-process behaviour is covered by the gateway/invalidation tests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster.shared_cache import (
+    DigestKey,
+    SharedCacheState,
+    SharedPlanTier,
+    TieredPlanCache,
+    cache_key_digest,
+    fingerprint_digest,
+)
+from repro.core.distributions import DiscreteDistribution
+from repro.plans.nodes import Join, Plan, Scan
+from repro.plans.properties import JoinMethod
+from repro.serving.plan_cache import PlanCacheKey
+from repro.tools.serialize import plan_to_dict
+
+
+def _state() -> SharedCacheState:
+    return SharedCacheState(data={}, counts={}, lock=threading.Lock())
+
+
+def _plan(left="R", right="S") -> Plan:
+    return Plan(Join(Scan(left), Scan(right), JoinMethod.SORT_MERGE,
+                     f"{left}={right}"))
+
+
+def _key(fp="fp", version=(0,), memory=500.0) -> PlanCacheKey:
+    return PlanCacheKey(
+        fingerprint=fp,
+        objective="expected",
+        model_key=("m",),
+        memory=("dist", DiscreteDistribution([memory, 2 * memory], [0.5, 0.5])),
+        knobs=("left-deep", False, 1, 16, False, True),
+        catalog_version=version,
+    )
+
+
+class TestDigests:
+    def test_equal_valued_keys_digest_identically(self):
+        # Separately constructed DiscreteDistribution objects hash
+        # differently in-process; the digest must see only their values —
+        # that is what makes the key meaningful across processes.
+        assert cache_key_digest(_key()) == cache_key_digest(_key())
+
+    def test_value_changes_change_the_digest(self):
+        assert cache_key_digest(_key()) != cache_key_digest(_key(memory=600.0))
+        assert cache_key_digest(_key()) != cache_key_digest(_key(fp="other"))
+        assert cache_key_digest(_key()) != cache_key_digest(_key(version=(1,)))
+
+    def test_fingerprint_digest_is_stable(self):
+        fp = ("chain", ("R", 100.0), ("S", 50.0))
+        assert fingerprint_digest(fp) == fingerprint_digest(
+            ("chain", ("R", 100.0), ("S", 50.0))
+        )
+        assert fingerprint_digest(fp) != fingerprint_digest(("star",))
+
+    def test_digest_key_carries_the_version_fence(self):
+        dk = DigestKey("abc", (1, 2))
+        assert dk.digest == "abc"
+        assert dk.catalog_version == (1, 2)
+
+
+class TestSharedPlanTier:
+    def test_put_get_and_stats(self):
+        tier = SharedPlanTier(_state(), max_entries=8)
+        assert tier.get("missing") is None
+        tier.put("d1", plan_to_dict(_plan()), 3.5, "full", version=(0,))
+        entry = tier.get("d1")
+        assert entry["objective_value"] == 3.5
+        assert entry["rung"] == "full"
+        assert entry["version"] == [0]
+        stats = tier.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert len(tier) == 1
+
+    def test_evicts_coldest_on_overflow(self):
+        tier = SharedPlanTier(_state(), max_entries=2)
+        doc = plan_to_dict(_plan())
+        tier.put("cold", doc, 1.0, "full", version=(0,))
+        tier.put("hot", doc, 1.0, "full", version=(0,))
+        tier.get("hot")  # one hit makes it hotter than "cold"
+        tier.put("new", doc, 1.0, "full", version=(0,))
+        assert len(tier) == 2
+        assert tier.get("cold") is None
+        assert tier.get("hot") is not None
+
+    def test_invalidate_stale_purges_old_versions(self):
+        tier = SharedPlanTier(_state(), max_entries=8)
+        doc = plan_to_dict(_plan())
+        tier.put("old", doc, 1.0, "full", version=(0,))
+        tier.put("fresh", doc, 1.0, "full", version=(1,))
+        assert tier.invalidate_stale((1,)) == 1
+        assert tier.get("old") is None
+        assert tier.get("fresh") is not None
+        assert tier.stats()["invalidations"] == 1
+
+    def test_hottest_ranks_by_hit_count(self):
+        tier = SharedPlanTier(_state(), max_entries=8)
+        doc = plan_to_dict(_plan())
+        for name, hits in (("a", 1), ("b", 3), ("c", 2)):
+            tier.put(name, doc, 1.0, "full", version=(0,))
+            for _ in range(hits):
+                tier.get(name)
+        assert [d for d, _ in tier.hottest(2)] == ["b", "c"]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SharedPlanTier(_state(), max_entries=0)
+
+
+class TestOrphanedLock:
+    """A worker SIGKILLed inside the critical section never releases the
+    manager lock.  The tier must keep serving (bounded waits, lock-free
+    fallback) instead of freezing the whole cluster — this is the exact
+    failure the ``--kill-worker`` crash drill exercises.
+    """
+
+    def _orphaned_tier(self) -> SharedPlanTier:
+        state = _state()
+        state.lock.acquire()  # held forever: simulates the dead owner
+        return SharedPlanTier(state, max_entries=8,
+                              lock_timeout=0.05, degraded_lock_timeout=0.01)
+
+    def test_operations_survive_an_orphaned_lock(self):
+        tier = self._orphaned_tier()
+        doc = plan_to_dict(_plan())
+        tier.put("d1", doc, 1.0, "full", version=(0,))
+        assert tier.get("d1") is not None
+        tier.put("d2", doc, 1.0, "full", version=(1,))
+        assert tier.invalidate_stale((1,)) == 1
+        assert [d for d, _ in tier.hottest(8)] == ["d2"]
+        tier.clear()
+        assert len(tier) == 0
+        assert tier.stats()["lock_timeouts"] >= 5
+
+    def test_degraded_mode_latches_and_recovers(self):
+        state = _state()
+        state.lock.acquire()
+        tier = SharedPlanTier(state, max_entries=8,
+                              lock_timeout=0.05, degraded_lock_timeout=0.01)
+        doc = plan_to_dict(_plan())
+        tier.put("a", doc, 1.0, "full", version=(0,))
+        assert tier._lock_degraded
+        before = tier.stats()["lock_timeouts"]
+        # A released lock (a live owner finished) un-latches degraded mode.
+        state.lock.release()
+        tier.put("b", doc, 1.0, "full", version=(0,))
+        assert not tier._lock_degraded
+        assert tier.stats()["lock_timeouts"] == before
+
+
+class TestTieredPlanCache:
+    def test_put_hits_hot_tier_first(self):
+        cache = TieredPlanCache(SharedPlanTier(_state()), hot_entries=8)
+        key = _key()
+        cache.put(key, _plan(), 2.0, rung="full")
+        hit = cache.get(key)
+        assert hit is not None and hit.tier == "hot"
+        assert hit.objective_value == 2.0
+
+    def test_shared_hit_is_promoted(self):
+        # Two workers sharing one tier: what worker A optimized, a fresh
+        # worker B serves from the shared tier — and promotes into its
+        # own hot LRU, so the second lookup is a hot hit.
+        state = _state()
+        worker_a = TieredPlanCache(SharedPlanTier(state), hot_entries=8)
+        worker_b = TieredPlanCache(SharedPlanTier(state), hot_entries=8)
+        key = _key()
+        worker_a.put(key, _plan(), 2.0, rung="coarse")
+
+        first = worker_b.get(key)
+        assert first is not None and first.tier == "shared"
+        assert first.rung == "coarse"
+        assert first.plan.root is not None
+
+        second = worker_b.get(key)
+        assert second is not None and second.tier == "hot"
+
+    def test_invalidate_stale_purges_both_tiers(self):
+        state = _state()
+        cache = TieredPlanCache(SharedPlanTier(state), hot_entries=8)
+        cache.put(_key(version=(0,)), _plan(), 1.0)
+        dropped = cache.invalidate_stale((1,))
+        assert dropped == 2  # one hot entry + one shared entry
+        assert cache.get(_key(version=(0,))) is None
+        assert len(cache.shared) == 0
+
+    def test_warm_from_shared_restores_hot_tier(self):
+        state = _state()
+        original = TieredPlanCache(SharedPlanTier(state), hot_entries=8)
+        keys = [_key(fp=f"q{i}") for i in range(3)]
+        for i, key in enumerate(keys):
+            original.put(key, _plan(), float(i))
+
+        # A restarted worker starts with a cold hot tier...
+        restarted = TieredPlanCache(SharedPlanTier(state), hot_entries=8)
+        assert len(restarted) == 0
+        assert restarted.warm_from_shared(limit=2) == 2
+        assert len(restarted) == 2
+
+    def test_clear_drops_hot_but_not_shared(self):
+        cache = TieredPlanCache(SharedPlanTier(_state()), hot_entries=8)
+        cache.put(_key(), _plan(), 1.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert len(cache.shared) == 1
+        assert cache.get(_key()).tier == "shared"
+
+    def test_stats_report_both_tiers(self):
+        cache = TieredPlanCache(SharedPlanTier(_state()), hot_entries=8)
+        stats = cache.stats()
+        assert set(stats) == {"hot", "shared"}

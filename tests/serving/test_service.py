@@ -273,3 +273,75 @@ class TestConcurrency:
         stats = svc.cache.stats()
         assert stats["hits"] + stats["misses"] == 32
         assert stats["hits"] >= 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_refuses_new_work(
+        self, three_way_query, small_memory_dist
+    ):
+        svc = OptimizerService(max_workers=2)
+        assert not svc.closed
+        svc.close()
+        assert svc.closed
+        svc.close()  # second close is a no-op, not an error
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(query=three_way_query, objective="lec",
+                       memory=small_memory_dist)
+
+    def test_pending_accounting_drains_to_zero(
+        self, three_way_query, small_memory_dist
+    ):
+        with OptimizerService(max_workers=2) as svc:
+            futures = [
+                svc.submit(query=three_way_query, objective="lec",
+                           memory=small_memory_dist)
+                for _ in range(4)
+            ]
+            assert svc.pending_requests() <= 4
+            for f in futures:
+                f.result(timeout=120)
+        # __exit__ closed the service: everything submitted has either
+        # finished or been pruned, never leaked.
+        assert svc.pending_requests() == 0
+
+    def test_close_cancels_queued_requests(self, three_way_query):
+        svc = OptimizerService(max_workers=1)
+        futures = [
+            # Distinct memory values defeat the cache so each request
+            # really occupies the single worker thread.
+            svc.submit(query=three_way_query, objective="point",
+                       memory=float(100 + i))
+            for i in range(16)
+        ]
+        svc.close(cancel_pending=True)
+        cancelled = [f for f in futures if f.cancelled()]
+        finished = [f for f in futures if f.done() and not f.cancelled()]
+        assert len(cancelled) + len(finished) == 16
+        assert cancelled, "a 16-deep queue on one thread must cancel some"
+        for f in finished:
+            assert f.result().plan is not None
+        assert svc.pending_requests() == 0
+
+    def test_close_without_cancel_drains_everything(
+        self, three_way_query, small_memory_dist
+    ):
+        svc = OptimizerService(max_workers=1)
+        futures = [
+            svc.submit(query=three_way_query, objective="lec",
+                       memory=small_memory_dist)
+            for _ in range(4)
+        ]
+        svc.close(cancel_pending=False)
+        for f in futures:
+            assert f.result(timeout=120).plan is not None
+        assert svc.pending_requests() == 0
+
+    def test_cache_hit_reports_its_tier(
+        self, service, three_way_query, small_memory_dist
+    ):
+        first = service.optimize(three_way_query, "lec",
+                                 memory=small_memory_dist)
+        hit = service.optimize(three_way_query, "lec",
+                               memory=small_memory_dist)
+        assert first.cache_tier is None  # a miss came from the optimizer
+        assert hit.cache_hit and hit.cache_tier == "hot"

@@ -379,3 +379,121 @@ class TestMalformedDocumentsRaiseCleanly:
     def test_unhashable_kind_tag(self):
         with pytest.raises(SerializationError):
             loads('{"kind": ["plan"]}')
+
+
+class TestQueryRoundTrip:
+    """Query documents are the cluster's wire format: the decoded query
+    must fingerprint *identically* to the original, or cross-process
+    cache keys would never match."""
+
+    def _rich_query(self):
+        from repro.core.distributions import DiscreteDistribution
+        from repro.plans.query import (
+            IndexInfo,
+            JoinPredicate,
+            JoinQuery,
+            RelationSpec,
+        )
+
+        rels = [
+            RelationSpec(
+                name="R",
+                pages=1000.0,
+                rows=50_000.0,
+                pages_dist=DiscreteDistribution([800.0, 1200.0], [0.5, 0.5]),
+                filter_selectivity=0.2,
+                index=IndexInfo(height=3, clustered=True),
+            ),
+            RelationSpec(name="S", pages=500.0),
+            RelationSpec(name="T", pages=50.0,
+                         index=IndexInfo(height=2, clustered=False)),
+        ]
+        preds = [
+            JoinPredicate(
+                "R", "S", 0.001, label="R=S",
+                selectivity_dist=two_point(0.0005, 0.002, 0.5),
+                equiv_class="x",
+            ),
+            JoinPredicate("S", "T", 0.01, label="S=T",
+                          result_pages_override=3000.0, equiv_class="x"),
+        ]
+        return JoinQuery(rels, preds)
+
+    def test_rich_join_query_roundtrips_every_field(self):
+        from repro.core.context import query_fingerprint
+        from repro.tools.serialize import query_from_dict, query_to_dict
+
+        query = self._rich_query()
+        doc = json.loads(json.dumps(query_to_dict(query)))  # wire-safe
+        back = query_from_dict(doc)
+        assert query_fingerprint(back) == query_fingerprint(query)
+        assert back.relations[0].index.height == 3
+        assert back.relations[0].index.clustered is True
+        assert back.relations[0].pages_dist is not None
+        assert back.predicates[0].equiv_class == "x"
+        assert back.predicates[1].result_pages_override == 3000.0
+
+    def test_union_query_roundtrips(self):
+        import numpy as np
+
+        from repro.core.context import query_fingerprint
+        from repro.tools.serialize import query_from_dict, query_to_dict
+        from repro.workloads.queries import union_query
+
+        rng = np.random.default_rng(3)
+        query = union_query(2, 3, rng, distinct=True)
+        back = query_from_dict(query_to_dict(query))
+        assert type(back).__name__ == "UnionQuery"
+        assert back.distinct is True
+        assert query_fingerprint(back) == query_fingerprint(query)
+
+    def test_dumps_loads_dispatch_on_query_kind(self):
+        from repro.core.context import query_fingerprint
+        from repro.tools.serialize import dumps, loads
+
+        query = self._rich_query()
+        back = loads(dumps(query))
+        assert query_fingerprint(back) == query_fingerprint(query)
+
+    def test_bad_query_documents_raise(self):
+        from repro.tools.serialize import query_from_dict
+
+        with pytest.raises(SerializationError):
+            query_from_dict({"kind": "plan"})
+        with pytest.raises(SerializationError):
+            query_from_dict({"kind": "query", "version": 1})  # no relations
+
+    def test_invalid_query_content_raises_serialization_error(self):
+        from repro.tools.serialize import query_from_dict
+
+        doc = {
+            "kind": "query", "version": 1,
+            "relations": [{"name": "R", "pages": -5.0}],
+            "predicates": [],
+        }
+        with pytest.raises(SerializationError):
+            query_from_dict(doc)
+
+
+class TestMarkovRoundTrip:
+    def test_markov_parameter_roundtrips(self):
+        from repro.core.markov import MarkovParameter
+        from repro.tools.serialize import dumps, loads, markov_to_dict
+
+        param = MarkovParameter(
+            states=[100.0, 1000.0],
+            initial=[0.25, 0.75],
+            transition=[[0.9, 0.1], [0.3, 0.7]],
+        )
+        back = loads(dumps(param))
+        assert isinstance(back, MarkovParameter)
+        assert list(back.states) == [100.0, 1000.0]
+        assert markov_to_dict(back) == markov_to_dict(param)
+
+    def test_bad_markov_documents_raise(self):
+        from repro.tools.serialize import markov_from_dict
+
+        with pytest.raises(SerializationError):
+            markov_from_dict({"kind": "distribution"})
+        with pytest.raises(SerializationError):
+            markov_from_dict({"kind": "markov_parameter", "states": [1.0]})
