@@ -25,6 +25,7 @@ from .engine import (
     AnalysisEngine,
     Finding,
     ModuleInfo,
+    ProjectRule,
     Rule,
     iter_python_files,
     register,
@@ -36,6 +37,7 @@ __all__ = [
     "Baseline",
     "Finding",
     "ModuleInfo",
+    "ProjectRule",
     "Rule",
     "iter_python_files",
     "register",

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .baseline import Baseline
 from .engine import AnalysisEngine, Finding, iter_python_files, registered_rules
+from .sarif import render_github, render_sarif
 
 DEFAULT_BASELINE = ".optlint-baseline.json"
 
@@ -56,8 +57,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to check (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif", "github"),
+                        help="output format (default: text); `sarif` emits "
+                             "a SARIF 2.1.0 document for code-scanning "
+                             "upload, `github` emits ::error workflow "
+                             "commands for inline PR annotations")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help=f"baseline file (default: {DEFAULT_BASELINE} "
                              f"when present)")
@@ -70,6 +75,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="comma-separated subset of rules to run")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print a timing line (files, parse/module-rule/"
+                             "project-rule seconds) to stderr")
     args = parser.parse_args(argv)
 
     rule_classes = registered_rules()
@@ -83,7 +91,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         wanted = {tok.strip() for tok in args.rules.split(",") if tok.strip()}
         unknown = wanted - set(rule_classes)
         if unknown:
-            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                  f"valid rules: {', '.join(sorted(rule_classes))}",
                   file=sys.stderr)
             return 2
         selected = [rule_classes[name]() for name in sorted(wanted)]
@@ -121,8 +130,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"baseline written: {target} ({len(findings)} entries)")
         return 0
 
-    print(_render_text(findings, engine) if args.format == "text"
-          else _render_json(findings, engine))
+    if args.format == "text":
+        print(_render_text(findings, engine))
+    elif args.format == "json":
+        print(_render_json(findings, engine))
+    elif args.format == "sarif":
+        print(render_sarif(findings, rule_classes))
+    else:  # github
+        out = render_github(findings)
+        if out:
+            print(out)
+    if args.stats:
+        stats = engine.stats
+        print(
+            f"optlint: {int(stats.get('files', 0))} file(s) in "
+            f"{stats.get('total_seconds', 0.0):.3f}s "
+            f"(parse {stats.get('parse_seconds', 0.0):.3f}s, "
+            f"module rules {stats.get('module_rule_seconds', 0.0):.3f}s, "
+            f"project rules {stats.get('project_rule_seconds', 0.0):.3f}s)",
+            file=sys.stderr,
+        )
     if engine.errors:
         return 2
     return 1 if findings else 0

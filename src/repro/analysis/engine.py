@@ -27,14 +27,18 @@ JSON, or assert on them in tests.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
 __all__ = [
     "Finding",
     "ModuleInfo",
     "Rule",
+    "ProjectRule",
     "register",
     "registered_rules",
     "AnalysisEngine",
@@ -142,6 +146,40 @@ class Rule:
             message=message,
         )
 
+    def finding_at(self, path: str, node: ast.AST, message: str) -> Finding:
+        """Like :meth:`finding`, for rules that only hold a path string."""
+        return Finding(
+            rule=self.name,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+    def finding_loc(self, path: str, line: int, col: int,
+                    message: str) -> Finding:
+        """Like :meth:`finding`, for project rules holding raw coordinates."""
+        return Finding(rule=self.name, path=path, line=line, col=col,
+                       message=message)
+
+
+class ProjectRule(Rule):
+    """A rule scoped to the whole program instead of one module.
+
+    Subclasses implement :meth:`check_project` over a
+    :class:`~repro.analysis.project.ProjectInfo`; the per-module
+    :meth:`check` hook is a no-op so project rules compose with the
+    existing engine dispatch.  When the engine is given a single source
+    string (the fixture path used by the rule tests) it builds a
+    one-module project, so project rules stay testable in isolation.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
@@ -162,6 +200,29 @@ def registered_rules() -> Dict[str, Type[Rule]]:
     from . import rules  # noqa: F401  — import for registration side effect
 
     return dict(_REGISTRY)
+
+
+#: parsed modules keyed by (path, content hash).  Repeated engine runs —
+#: CI invoking the linter over ``src`` and then ``tests``, or the test
+#: suite constructing many engines — re-parse only files whose content
+#: actually changed.  Bounded so a long-lived process cannot grow it
+#: without limit.
+_PARSE_CACHE: "OrderedDict[Tuple[str, str], ModuleInfo]" = OrderedDict()
+_PARSE_CACHE_MAX = 512
+
+
+def parse_cached(path: str, source: str) -> ModuleInfo:
+    """Parse ``source`` as ``path``, memoized on the content hash."""
+    key = (path, hashlib.sha256(source.encode("utf-8")).hexdigest())
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None:
+        _PARSE_CACHE.move_to_end(key)
+        return cached
+    info = ModuleInfo.parse(path, source)
+    _PARSE_CACHE[key] = info
+    while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+        _PARSE_CACHE.popitem(last=False)
+    return info
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -202,34 +263,74 @@ class AnalysisEngine:
         self.baseline = baseline
         self.suppressed: List[Finding] = []
         self.errors: List[str] = []
+        self.stats: Dict[str, float] = {}
+
+    @property
+    def module_rules(self) -> List[Rule]:
+        return [r for r in self.rules if not isinstance(r, ProjectRule)]
+
+    @property
+    def project_rules(self) -> List[ProjectRule]:
+        return [r for r in self.rules if isinstance(r, ProjectRule)]
 
     # ------------------------------------------------------------------
     # Checking
     # ------------------------------------------------------------------
 
-    def check_source(self, source: str, path: str = "<string>") -> List[Finding]:
-        """Analyze one in-memory module; used heavily by the rule tests."""
+    def _check_modules(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        """Run module + project rules over parsed modules; update stats."""
+        from .project import ProjectInfo
+
+        t0 = time.perf_counter()
+        raw: List[Finding] = []
+        for module in modules:
+            for rule in self.module_rules:
+                raw.extend(rule.check(module))
+        t1 = time.perf_counter()
+        project_rules = self.project_rules
+        if project_rules and modules:
+            project = ProjectInfo.build(modules)
+            for rule in project_rules:
+                raw.extend(rule.check_project(project))
+        t2 = time.perf_counter()
+        self.stats = {
+            "files": float(len(modules)),
+            "module_rule_seconds": t1 - t0,
+            "project_rule_seconds": t2 - t1,
+            "total_seconds": t2 - t0,
+        }
+        return self._filter(raw, {m.path: m.lines for m in modules})
+
+    def _filter(self, raw: Sequence[Finding],
+                lines_by_path: Dict[str, List[str]]) -> List[Finding]:
+        """Apply inline suppressions and the baseline; sort the survivors."""
         from .baseline import suppressed_rules_for_line
 
-        try:
-            module = ModuleInfo.parse(path, source)
-        except SyntaxError as exc:
-            self.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
-            return []
-        raw: List[Finding] = []
-        for rule in self.rules:
-            raw.extend(rule.check(module))
         out: List[Finding] = []
         for f in sorted(raw, key=lambda f: (f.path, f.line, f.col, f.rule)):
-            disabled = suppressed_rules_for_line(module.lines, f.line)
+            lines = lines_by_path.get(f.path, [])
+            disabled = suppressed_rules_for_line(lines, f.line)
             if f.rule in disabled or "all" in disabled:
                 self.suppressed.append(f)
                 continue
-            if self.baseline is not None and self.baseline.matches(f, module.lines):
+            if self.baseline is not None and self.baseline.matches(f, lines):
                 self.suppressed.append(f)
                 continue
             out.append(f)
         return out
+
+    def check_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Analyze one in-memory module; used heavily by the rule tests.
+
+        Project-scoped rules see a one-module project, so fixture tests
+        exercise them through the same entry point as module rules.
+        """
+        try:
+            module = parse_cached(path, source)
+        except SyntaxError as exc:
+            self.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+            return []
+        return self._check_modules([module])
 
     def check_file(self, path: str) -> List[Finding]:
         """Analyze one file on disk."""
@@ -237,8 +338,24 @@ class AnalysisEngine:
             return self.check_source(fh.read(), path=path)
 
     def check_paths(self, paths: Iterable[str]) -> List[Finding]:
-        """Analyze every ``.py`` file reachable from ``paths``."""
-        findings: List[Finding] = []
+        """Analyze every ``.py`` file reachable from ``paths``.
+
+        All files are parsed first so project-scoped rules check one
+        whole-program view instead of per-file slices.
+        """
+        t0 = time.perf_counter()
+        modules: List[ModuleInfo] = []
         for path in iter_python_files(paths):
-            findings.extend(self.check_file(path))
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            try:
+                modules.append(parse_cached(path, source))
+            except SyntaxError as exc:
+                self.errors.append(
+                    f"{path}: syntax error: {exc.msg} (line {exc.lineno})"
+                )
+        parse_seconds = time.perf_counter() - t0
+        findings = self._check_modules(modules)
+        self.stats["parse_seconds"] = parse_seconds
+        self.stats["total_seconds"] += parse_seconds
         return findings

@@ -1,0 +1,898 @@
+"""Whole-program facts for project-scoped optlint rules.
+
+The per-module rules (LOCK001, VER001, ...) see one file at a time, so
+the invariants most likely to take down the *cluster* tier — a blocking
+Manager-proxy round trip on the asyncio event loop, a lock-order cycle
+spanning ``serving`` and ``cluster``, a version fence dropped two calls
+away from the mutation — are invisible to them.  This module builds the
+missing global view:
+
+* :func:`module_name_for_path` + per-module import maps give
+  **module-qualified symbol resolution** (``protocol.read_frame`` seen
+  in ``gateway.py`` resolves to ``repro.cluster.protocol.read_frame``).
+* :class:`ClassInfo` carries **candidate attribute types** gathered
+  from annotations, direct construction and constructor-argument flow
+  (``OptimizerService(cache=TieredPlanCache(...))`` in the worker seeds
+  ``self.cache`` with ``TieredPlanCache`` even though the annotation
+  says ``PlanCache``), plus which attributes are locks and which are
+  multiprocessing-Manager proxies.
+* :class:`FunctionInfo` is one function's **summary**: is it async,
+  which locks it acquires (and what was held at each acquire), which
+  blocking primitives it invokes, whether it mutates catalog/feedback
+  statistics, whether it bumps the version fence, and every call site
+  with its resolved candidate callees and the locks held around it.
+* :class:`ProjectInfo` ties the summaries into a **call graph** with
+  :meth:`ProjectInfo.transitive_acquires` for interprocedural lock
+  reasoning.
+
+Everything here is deliberately *candidate-set* analysis: an attribute
+may resolve to several classes, a call to several functions.  Rules
+treat the union as reachable — sound enough to catch the real cluster
+bugs, cheap enough to run on every CI push.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .engine import ModuleInfo
+from .rules._util import (
+    LOCK_FACTORIES,
+    VERSIONED_CLASSES,
+    bumps_version,
+    dotted_name,
+    first_self_mutation,
+    first_stats_field_mutation,
+    is_lock_create,
+)
+
+__all__ = [
+    "module_name_for_path",
+    "BlockingUse",
+    "LockUse",
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleRecord",
+    "ProjectInfo",
+]
+
+#: typing names that never name a concrete project class.
+_TYPING_NAMES = {
+    "Optional", "Union", "List", "Dict", "Set", "Tuple", "Sequence",
+    "Iterable", "Iterator", "Any", "Callable", "Type", "FrozenSet",
+    "Mapping", "MutableMapping", "Deque", "NamedTuple", "None", "bool",
+    "int", "float", "str", "bytes", "object",
+}
+
+#: socket methods that perform real I/O when called on a socket-ish object.
+_SOCKET_METHODS = {
+    "recv", "recv_into", "recvfrom", "sendall", "sendto", "accept",
+    "connect", "makefile",
+}
+
+#: methods that are Manager round trips when the receiver looks like a
+#: manager handle (``manager.dict()``, ``self._manager.shutdown()``).
+_MANAGER_METHODS = {
+    "dict", "list", "Namespace", "Queue", "Value", "Array",
+    "Lock", "RLock", "shutdown", "connect", "start",
+}
+
+#: manager factories whose result is a shared *proxy* container.
+_MANAGER_PROXY_FACTORIES = {"dict", "list", "Namespace", "Queue", "Value", "Array"}
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Path components after the last ``src`` segment form the package
+    path (``src/repro/cluster/gateway.py`` → ``repro.cluster.gateway``);
+    without a ``src`` anchor the whole relative path is used, and a bare
+    filename falls back to its stem.  ``__init__`` maps to its package.
+    """
+    norm = path.replace(os.sep, "/").replace("\\", "/")
+    parts = [p for p in norm.split("/") if p not in ("", ".", "..")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "src" in parts:
+        last_src = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[last_src + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<module>"
+
+
+def _expr_text(node: ast.AST) -> str:
+    """Best-effort source text of an expression (for hints/messages)."""
+    try:
+        return ast.unparse(node)  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - unparse failures are cosmetic
+        return ""
+
+
+def _is_manager_hinted(node: ast.AST) -> bool:
+    """True when an expression textually looks like a Manager handle."""
+    return "manager" in _expr_text(node).lower()
+
+
+def _walk_shallow(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk a subtree without descending into nested lambdas/defs.
+
+    The root itself is always descended into (callers pass the function
+    being summarized); only *nested* function scopes are opaque.
+    """
+    yield root
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        cur = stack.pop()
+        yield cur
+        if isinstance(cur, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+@dataclass(frozen=True)
+class BlockingUse:
+    """One invocation of a primitive that can block the event loop."""
+
+    kind: str  # "time.sleep" | "file-io" | "socket" | "future-result"
+    #            | "frame-io" | "manager-proxy"
+    detail: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class LockUse:
+    """One lock acquisition, with the domains already held around it."""
+
+    domain: str  # e.g. "repro.serving.plan_cache.PlanCache._lock"
+    manager: bool  # True for multiprocessing-Manager locks
+    lineno: int
+    col: int
+    held: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression with its resolved candidate callees."""
+
+    text: str
+    resolved: Optional[str]  # absolute dotted target, project or not
+    callees: Tuple[str, ...]  # qualnames of candidate project functions
+    lineno: int
+    col: int
+    held: Tuple[str, ...] = ()  # lock domains held at the call
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one function or method."""
+
+    qualname: str
+    module: str
+    name: str
+    cls: Optional[str]  # owning class qualname, if a method
+    path: str
+    node: ast.AST
+    is_async: bool = False
+    is_public: bool = False
+    calls: List[CallSite] = field(default_factory=list)
+    blocking: List[BlockingUse] = field(default_factory=list)
+    acquires: List[LockUse] = field(default_factory=list)
+    mutates_stats: Optional[ast.AST] = None
+    bumps_version: bool = False
+
+
+@dataclass
+class ClassInfo:
+    """Summary of one class: methods, attribute types, lock fields."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, str] = field(default_factory=dict)
+    attr_types: Dict[str, Set[str]] = field(default_factory=dict)
+    lock_attrs: Dict[str, bool] = field(default_factory=dict)  # attr -> manager?
+    manager_lock_fields: Set[str] = field(default_factory=set)
+    proxy_fields: Set[str] = field(default_factory=set)
+    field_order: List[str] = field(default_factory=list)
+    init_params: List[str] = field(default_factory=list)
+    param_attr_bindings: Dict[str, str] = field(default_factory=dict)
+
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+
+@dataclass
+class ModuleRecord:
+    """One parsed module plus its resolution context."""
+
+    name: str
+    info: ModuleInfo
+    imports: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+    module_locks: Dict[str, bool] = field(default_factory=dict)
+
+
+@dataclass
+class _FuncCtx:
+    """Resolution context while summarizing one function."""
+
+    record: ModuleRecord
+    cls: Optional[ClassInfo]
+    local_types: Dict[str, Set[str]]
+
+
+class ProjectInfo:
+    """The whole-program view project-scoped rules check against."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleRecord] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._local_types: Dict[str, Dict[str, Set[str]]] = {}
+        self._acquire_memo: Dict[str, Dict[str, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, infos: Sequence[ModuleInfo]) -> "ProjectInfo":
+        """Build the project view over a set of parsed modules."""
+        project = cls()
+        for info in infos:
+            name = module_name_for_path(info.path)
+            record = ModuleRecord(name=name, info=info)
+            record.imports = _collect_imports(info.tree, name)
+            project.modules[name] = record
+        for record in project.modules.values():
+            project._collect_definitions(record)
+        for record in project.modules.values():
+            project._seed_attr_types(record)
+        for record in project.modules.values():
+            project._propagate_constructor_args(record)
+        for record in project.modules.values():
+            project._summarize_module(record)
+        return project
+
+    def _collect_definitions(self, record: ModuleRecord) -> None:
+        """Pass A: classes, methods, top-level functions, module locks."""
+        for node in record.info.tree.body:
+            if isinstance(node, ast.ClassDef):
+                qual = f"{record.name}.{node.name}"
+                cinfo = ClassInfo(qualname=qual, module=record.name,
+                                  name=node.name, node=node)
+                for base in node.bases:
+                    text = dotted_name(base)
+                    if text is not None:
+                        resolved = self.resolve(record.name, text)
+                        if resolved is not None:
+                            cinfo.bases.append(resolved)
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        cinfo.methods[stmt.name] = f"{qual}.{stmt.name}"
+                        if stmt.name == "__init__":
+                            cinfo.init_params = [
+                                a.arg for a in stmt.args.posonlyargs + stmt.args.args
+                                if a.arg != "self"
+                            ]
+                    elif isinstance(stmt, ast.AnnAssign) and \
+                            isinstance(stmt.target, ast.Name):
+                        cinfo.field_order.append(stmt.target.id)
+                if not cinfo.init_params:
+                    cinfo.init_params = list(cinfo.field_order)
+                record.classes[node.name] = cinfo
+                self.classes[qual] = cinfo
+                self._register_functions(record, node, prefix=qual, cls=cinfo)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{record.name}.{node.name}"
+                record.functions[node.name] = qual
+                self._register_function(record, node, qual, cls=None)
+                self._register_functions(record, node, prefix=qual, cls=None)
+            elif isinstance(node, ast.Assign) and is_lock_create(node.value):
+                manager = _is_manager_lock_create(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        record.module_locks[target.id] = manager
+
+    def _register_functions(self, record: ModuleRecord, root: ast.AST,
+                            prefix: str, cls: Optional[ClassInfo]) -> None:
+        """Register nested defs (and methods, when root is a class)."""
+        for stmt in ast.iter_child_nodes(root):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}"
+                self._register_function(record, stmt, qual, cls=cls)
+                self._register_functions(record, stmt, prefix=qual, cls=cls)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For,
+                                   ast.While)):
+                self._register_functions(record, stmt, prefix=prefix, cls=cls)
+
+    def _register_function(self, record: ModuleRecord, node: ast.AST,
+                           qualname: str, cls: Optional[ClassInfo]) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        name = node.name
+        public = not name.startswith("_") and (cls is None or cls.is_public())
+        in_versioned = cls is not None and cls.name in VERSIONED_CLASSES
+        mutation = first_self_mutation(node) if in_versioned \
+            else first_stats_field_mutation(node)
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            module=record.name,
+            name=name,
+            cls=cls.qualname if cls is not None else None,
+            path=record.info.path,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            is_public=public,
+            mutates_stats=mutation,
+            bumps_version=bumps_version(node),
+        )
+
+    # ------------------------------------------------------------------
+    # Symbol resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, module: str, dotted: str) -> Optional[str]:
+        """Absolute dotted target of a name as seen from ``module``.
+
+        Returns an absolute string even for non-project targets (so
+        ``time.sleep`` stays matchable against the blocking registry);
+        ``None`` when the head is not an import or module-level symbol.
+        """
+        record = self.modules.get(module)
+        if record is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        target = record.imports.get(head)
+        if target is not None:
+            return ".".join([target] + parts[1:])
+        if head in record.classes or head in record.functions:
+            return f"{module}.{dotted}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Type candidates
+    # ------------------------------------------------------------------
+
+    def _annotation_types(self, record: ModuleRecord,
+                          annotation: Optional[ast.AST]) -> Set[str]:
+        """Project classes named anywhere inside a type annotation."""
+        out: Set[str] = set()
+        if annotation is None:
+            return out
+        for node in ast.walk(annotation):
+            text: Optional[str] = None
+            if isinstance(node, ast.Name):
+                if node.id in _TYPING_NAMES:
+                    continue
+                text = node.id
+            elif isinstance(node, ast.Attribute):
+                text = dotted_name(node)
+            if text is None:
+                continue
+            resolved = self.resolve(record.name, text)
+            if resolved is not None and resolved in self.classes:
+                out.add(resolved)
+        return out
+
+    def _param_types(self, record: ModuleRecord,
+                     func: ast.AST) -> Dict[str, Set[str]]:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        out: Dict[str, Set[str]] = {}
+        args = func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            types = self._annotation_types(record, arg.annotation)
+            if types:
+                out[arg.arg] = types
+        return out
+
+    def _function_local_types(self, record: ModuleRecord,
+                              func: ast.AST) -> Dict[str, Set[str]]:
+        """Candidate types of a function's locals (params + constructions)."""
+        qual_key = f"{record.name}:{id(func)}"
+        cached = self._local_types.get(qual_key)
+        if cached is not None:
+            return cached
+        out = self._param_types(record, func)
+        for node in _walk_shallow(func):
+            value: Optional[ast.AST] = None
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        types = self._ctor_types(record, item.context_expr)
+                        if types and isinstance(item.optional_vars, ast.Name):
+                            out.setdefault(
+                                item.optional_vars.id, set()
+                            ).update(types)
+                continue
+            if value is None:
+                continue
+            types = self._ctor_types(record, value)
+            if not types:
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    out.setdefault(t.id, set()).update(types)
+        self._local_types[qual_key] = out
+        return out
+
+    def _ctor_types(self, record: ModuleRecord,
+                    value: ast.AST) -> Set[str]:
+        """Classes directly constructed by a value expression."""
+        if isinstance(value, ast.Call):
+            text = dotted_name(value.func)
+            if text is not None:
+                resolved = self.resolve(record.name, text)
+                if resolved is not None and resolved in self.classes:
+                    return {resolved}
+        if isinstance(value, ast.IfExp):
+            return (self._ctor_types(record, value.body)
+                    | self._ctor_types(record, value.orelse))
+        if isinstance(value, ast.Await):
+            return self._ctor_types(record, value.value)
+        return set()
+
+    def expr_types(self, ctx: _FuncCtx, node: ast.AST) -> Set[str]:
+        """Candidate project-class types of an arbitrary expression."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and ctx.cls is not None:
+                return {ctx.cls.qualname}
+            return set(ctx.local_types.get(node.id, set()))
+        if isinstance(node, ast.Attribute):
+            out: Set[str] = set()
+            for t in self.expr_types(ctx, node.value):
+                cinfo = self.classes.get(t)
+                if cinfo is not None:
+                    out |= cinfo.attr_types.get(node.attr, set())
+            return out
+        if isinstance(node, ast.Call):
+            return self._ctor_types(ctx.record, node)
+        if isinstance(node, ast.IfExp):
+            return (self.expr_types(ctx, node.body)
+                    | self.expr_types(ctx, node.orelse))
+        if isinstance(node, ast.Await):
+            return self.expr_types(ctx, node.value)
+        return set()
+
+    # ------------------------------------------------------------------
+    # Attribute-type seeding (pass B1) and constructor flow (pass B2)
+    # ------------------------------------------------------------------
+
+    def _seed_attr_types(self, record: ModuleRecord) -> None:
+        for cinfo in record.classes.values():
+            for stmt in cinfo.node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name):
+                    types = self._annotation_types(record, stmt.annotation)
+                    if types:
+                        cinfo.attr_types.setdefault(
+                            stmt.target.id, set()
+                        ).update(types)
+            for method_name in cinfo.methods:
+                method = self._method_node(cinfo, method_name)
+                if method is None:
+                    continue
+                self._seed_from_method(record, cinfo, method)
+
+    def _method_node(self, cinfo: ClassInfo,
+                     name: str) -> Optional[ast.AST]:
+        for stmt in cinfo.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and stmt.name == name:
+                return stmt
+        return None
+
+    def _seed_from_method(self, record: ModuleRecord, cinfo: ClassInfo,
+                          method: ast.AST) -> None:
+        param_types = self._param_types(record, method)
+        for node in _walk_shallow(method):
+            value: Optional[ast.AST] = None
+            target: Optional[ast.AST] = None
+            annotation: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                value, target = node.value, node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                value, target, annotation = node.value, node.target, \
+                    node.annotation
+            if target is None or not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            types = self._annotation_types(record, annotation)
+            if value is not None:
+                types |= self._ctor_types(record, value)
+                if isinstance(value, ast.Name):
+                    types |= param_types.get(value.id, set())
+                    self._bind_param(cinfo, value.id, attr)
+                if isinstance(value, ast.IfExp):
+                    for branch in (value.body, value.orelse):
+                        if isinstance(branch, ast.Name):
+                            types |= param_types.get(branch.id, set())
+                            self._bind_param(cinfo, branch.id, attr)
+                if is_lock_create(value):
+                    cinfo.lock_attrs[attr] = _is_manager_lock_create(value)
+                if _is_manager_proxy_create(value):
+                    cinfo.proxy_fields.add(attr)
+            if types:
+                cinfo.attr_types.setdefault(attr, set()).update(types)
+
+    @staticmethod
+    def _bind_param(cinfo: ClassInfo, param: str, attr: str) -> None:
+        cinfo.param_attr_bindings.setdefault(param, attr)
+
+    def _propagate_constructor_args(self, record: ModuleRecord) -> None:
+        """Pass B2: flow argument types into constructed classes' attrs."""
+        for node in ast.walk(record.info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            text = dotted_name(node.func)
+            if text is None:
+                continue
+            resolved = self.resolve(record.name, text)
+            if resolved is None:
+                continue
+            cinfo = self.classes.get(resolved)
+            if cinfo is None:
+                continue
+            owner = self._enclosing_function(record, node)
+            local_types = (
+                self._function_local_types(record, owner)
+                if owner is not None else {}
+            )
+            for param, arg in self._map_call_args(cinfo, node):
+                attr = cinfo.param_attr_bindings.get(param)
+                if attr is None and param in cinfo.field_order:
+                    attr = param
+                if attr is None:
+                    continue
+                types: Set[str] = self._ctor_types(record, arg)
+                if isinstance(arg, ast.Name):
+                    types |= local_types.get(arg.id, set())
+                if types:
+                    cinfo.attr_types.setdefault(attr, set()).update(types)
+                if is_lock_create(arg) and _is_manager_lock_create(arg):
+                    cinfo.manager_lock_fields.add(attr)
+                if _is_manager_proxy_create(arg):
+                    cinfo.proxy_fields.add(attr)
+
+    @staticmethod
+    def _map_call_args(
+        cinfo: ClassInfo, call: ast.Call
+    ) -> List[Tuple[str, ast.AST]]:
+        out: List[Tuple[str, ast.AST]] = []
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(cinfo.init_params):
+                out.append((cinfo.init_params[i], arg))
+        for kw in call.keywords:
+            if kw.arg is not None:
+                out.append((kw.arg, kw.value))
+        return out
+
+    def _enclosing_function(self, record: ModuleRecord,
+                            node: ast.AST) -> Optional[ast.AST]:
+        for anc in record.info.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    # ------------------------------------------------------------------
+    # Function summaries (pass C)
+    # ------------------------------------------------------------------
+
+    def _summarize_module(self, record: ModuleRecord) -> None:
+        for fn in self.functions.values():
+            if fn.module != record.name:
+                continue
+            cls = self.classes.get(fn.cls) if fn.cls is not None else None
+            ctx = _FuncCtx(
+                record=record,
+                cls=cls,
+                local_types=self._function_local_types(record, fn.node),
+            )
+            visitor = _SummaryVisitor(self, ctx, fn)
+            assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            visitor.run(fn.node.body)
+
+    # ------------------------------------------------------------------
+    # Lock / call graph queries
+    # ------------------------------------------------------------------
+
+    def lock_domain(self, ctx: _FuncCtx,
+                    expr: ast.AST) -> Optional[Tuple[str, bool]]:
+        """``(domain, is_manager)`` when an expression names a known lock."""
+        if isinstance(expr, ast.Attribute):
+            for t in self.expr_types(ctx, expr.value):
+                cinfo = self.classes.get(t)
+                if cinfo is None:
+                    continue
+                if expr.attr in cinfo.lock_attrs:
+                    return (f"{t}.{expr.attr}", cinfo.lock_attrs[expr.attr])
+                if expr.attr in cinfo.manager_lock_fields:
+                    return (f"{t}.{expr.attr}", True)
+        if isinstance(expr, ast.Name):
+            manager = ctx.record.module_locks.get(expr.id)
+            if manager is not None:
+                return (f"{ctx.record.name}.{expr.id}", manager)
+        return None
+
+    def method_candidates(self, cls_qualname: str, method: str,
+                          _seen: Optional[Set[str]] = None) -> List[str]:
+        """Candidate qualnames of ``method`` on a class or its bases."""
+        seen = _seen if _seen is not None else set()
+        if cls_qualname in seen:
+            return []
+        seen.add(cls_qualname)
+        cinfo = self.classes.get(cls_qualname)
+        if cinfo is None:
+            return []
+        if method in cinfo.methods:
+            return [cinfo.methods[method]]
+        out: List[str] = []
+        for base in cinfo.bases:
+            out.extend(self.method_candidates(base, method, seen))
+        return out
+
+    def transitive_acquires(self, qualname: str) -> Dict[str, bool]:
+        """Every lock domain reachable through ``qualname``'s sync calls."""
+        memo = self._acquire_memo.get(qualname)
+        if memo is not None:
+            return memo
+        self._acquire_memo[qualname] = {}  # cycle guard: partial result
+        out: Dict[str, bool] = {}
+        fn = self.functions.get(qualname)
+        if fn is not None:
+            for lu in fn.acquires:
+                out[lu.domain] = lu.manager
+            for cs in fn.calls:
+                for callee in cs.callees:
+                    callee_fn = self.functions.get(callee)
+                    if callee_fn is not None and callee_fn.is_async:
+                        continue
+                    out.update(self.transitive_acquires(callee))
+        self._acquire_memo[qualname] = out
+        return out
+
+
+def _collect_imports(tree: ast.Module, module_name: str) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    pkg_parts = module_name.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                keep = len(pkg_parts) - (node.level - 1)
+                base = ".".join(pkg_parts[:keep]) if keep > 0 else ""
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _is_manager_lock_create(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return False
+    if node.func.attr not in LOCK_FACTORIES:
+        return False
+    return _is_manager_hinted(node.func.value)
+
+
+def _is_manager_proxy_create(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return False
+    if node.func.attr not in _MANAGER_PROXY_FACTORIES:
+        return False
+    return _is_manager_hinted(node.func.value)
+
+
+class _SummaryVisitor:
+    """Sequential statement walker building one function's summary.
+
+    Tracks the set of held lock domains through ``with`` blocks and
+    explicit ``.acquire()``/``.release()`` calls (an intraprocedural
+    approximation: a lock acquired via a helper function is *not*
+    considered held afterwards — good enough for the repo's idioms,
+    where multi-step critical sections always use ``with``).
+    """
+
+    def __init__(self, project: ProjectInfo, ctx: _FuncCtx,
+                 fn: FunctionInfo) -> None:
+        self.project = project
+        self.ctx = ctx
+        self.fn = fn
+        self.held: List[str] = []
+
+    # -- statements ----------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are summarized separately
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in stmt.items:
+                self._scan_expr(item.context_expr)
+                domain = self.project.lock_domain(self.ctx, item.context_expr)
+                if domain is not None:
+                    self._record_acquire(domain, item.context_expr)
+                    acquired.append(domain[0])
+            self.held.extend(acquired)
+            self.run(stmt.body)
+            for _ in acquired:
+                self.held.pop()
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._scan_expr(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+
+    # -- expressions ---------------------------------------------------
+
+    def _scan_expr(self, expr: ast.AST) -> None:
+        for node in _walk_shallow(expr):
+            if isinstance(node, ast.Call):
+                self._handle_call(node)
+            elif isinstance(node, ast.Attribute):
+                self._handle_attribute(node)
+
+    def _awaited(self, node: ast.AST) -> bool:
+        return isinstance(self.ctx.record.info.parents.get(node), ast.Await)
+
+    def _record_acquire(self, domain: Tuple[str, bool],
+                        node: ast.AST) -> None:
+        self.fn.acquires.append(LockUse(
+            domain=domain[0], manager=domain[1],
+            lineno=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            held=tuple(self.held),
+        ))
+
+    def _handle_call(self, node: ast.Call) -> None:
+        project, ctx = self.project, self.ctx
+        func = node.func
+        text = dotted_name(func) or _expr_text(func)
+        resolved = dotted_name(func)
+        if resolved is not None:
+            resolved = project.resolve(ctx.record.name, resolved)
+
+        # Explicit lock protocol: X.acquire() / X.release().
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire",
+                                                             "release"):
+            domain = project.lock_domain(ctx, func.value)
+            if domain is not None:
+                if func.attr == "acquire":
+                    self._record_acquire(domain, node)
+                    self.held.append(domain[0])
+                elif domain[0] in self.held:
+                    self.held.remove(domain[0])
+                return
+
+        callees = self._callee_candidates(node, resolved)
+        if callees:
+            self.fn.calls.append(CallSite(
+                text=text, resolved=resolved, callees=tuple(callees),
+                lineno=node.lineno, col=node.col_offset,
+                held=tuple(self.held),
+            ))
+
+        if not self._awaited(node):
+            blocking = self._classify_blocking(node, resolved)
+            if blocking is not None:
+                self.fn.blocking.append(blocking)
+
+    def _callee_candidates(self, node: ast.Call,
+                           resolved: Optional[str]) -> List[str]:
+        project, ctx = self.project, self.ctx
+        out: List[str] = []
+        func = node.func
+        if resolved is not None:
+            if resolved in project.functions:
+                out.append(resolved)
+            elif resolved in project.classes:
+                init = project.classes[resolved].methods.get("__init__")
+                if init is not None:
+                    out.append(init)
+        if isinstance(func, ast.Attribute) and not out:
+            for t in project.expr_types(ctx, func.value):
+                out.extend(project.method_candidates(t, func.attr))
+        if isinstance(func, ast.Name) and func.id == "len" and \
+                len(node.args) == 1:
+            for t in project.expr_types(ctx, node.args[0]):
+                out.extend(project.method_candidates(t, "__len__"))
+        return sorted(set(out))
+
+    def _classify_blocking(self, node: ast.Call,
+                           resolved: Optional[str]) -> Optional[BlockingUse]:
+        func = node.func
+        detail = _expr_text(func)
+
+        def use(kind: str) -> BlockingUse:
+            return BlockingUse(kind=kind, detail=detail,
+                               lineno=node.lineno, col=node.col_offset)
+
+        if resolved == "time.sleep":
+            return use("time.sleep")
+        if resolved in ("os.read", "os.write") or (
+            isinstance(func, ast.Name) and func.id == "open"
+        ):
+            return use("file-io")
+        if isinstance(func, ast.Attribute):
+            leaf = func.attr
+            if leaf in _SOCKET_METHODS:
+                return use("socket")
+            if leaf == "result":
+                return use("future-result")
+            if leaf == "Manager":
+                return use("manager-proxy")
+            if leaf in _MANAGER_METHODS and _is_manager_hinted(func.value):
+                return use("manager-proxy")
+        if resolved is not None and "protocol" in resolved and \
+                resolved.split(".")[-1] in ("read_frame", "write_frame"):
+            return use("frame-io")
+        return None
+
+    def _handle_attribute(self, node: ast.Attribute) -> None:
+        """Manager-proxy field touches: ``self._state.data[...]`` etc."""
+        for t in self.project.expr_types(self.ctx, node.value):
+            cinfo = self.project.classes.get(t)
+            if cinfo is None:
+                continue
+            if node.attr in cinfo.proxy_fields or \
+                    node.attr in cinfo.manager_lock_fields:
+                self.fn.blocking.append(BlockingUse(
+                    kind="manager-proxy",
+                    detail=f"{_expr_text(node)} ({t}.{node.attr})",
+                    lineno=node.lineno, col=node.col_offset,
+                ))
+                return

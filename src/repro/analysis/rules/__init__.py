@@ -16,28 +16,49 @@ rule              invariant
                   construction goes through normalizing constructors
 ``PLAN001``       ``Join`` construction / plan enumeration outside
                   ``repro/plans`` goes through the ``PlanSpace`` API
+``ASYNC001``      no blocking primitive (sleep, socket/file I/O,
+                  ``Future.result()``, Manager proxies, frame I/O) is
+                  transitively reachable from an ``async def`` in
+                  ``repro.cluster``/``repro.serving`` [project-scoped]
+``LOCK002``       no lock-order cycles; the Manager lock is never
+                  acquired while holding an in-process lock
+                  [project-scoped]
+``VER002``        no public entry point reaches a catalog/feedback
+                  mutation along a bump-free call path [project-scoped]
+``SER001``        every wire ``kind`` an encoder emits has a decoder
+                  branch, and vice versa [project-scoped]
 ================  =====================================================
 
 Adding a rule: create a module here with a :class:`~repro.analysis.
-engine.Rule` subclass decorated with ``@register``, import it below,
-and add a triggering + clean fixture pair in
-``tests/analysis/test_rules.py``.
+engine.Rule` subclass (or :class:`~repro.analysis.engine.ProjectRule`
+for whole-program invariants) decorated with ``@register``, import it
+below, and add a triggering + clean fixture pair in
+``tests/analysis/test_rules.py`` (project rules:
+``tests/analysis/test_rules_project.py``).
 """
 
 from __future__ import annotations
 
+from .async001 import AsyncBlockingRule
 from .det001 import DeterminismRule
 from .dist001 import DistributionEncapsulationRule
 from .flt001 import FloatEqualityRule
 from .lock001 import LockDisciplineRule
+from .lock002 import LockOrderRule
 from .plan001 import PlanSpaceDisciplineRule
+from .ser001 import SerializeKindRule
 from .ver001 import VersionFenceRule
+from .ver002 import VersionFenceChainRule
 
 __all__ = [
+    "AsyncBlockingRule",
     "DeterminismRule",
     "DistributionEncapsulationRule",
     "FloatEqualityRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "PlanSpaceDisciplineRule",
+    "SerializeKindRule",
     "VersionFenceRule",
+    "VersionFenceChainRule",
 ]

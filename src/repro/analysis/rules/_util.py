@@ -1,9 +1,17 @@
-"""Small AST helpers shared by the optlint rules."""
+"""Small AST helpers shared by the optlint rules.
+
+Besides the generic tree walkers, this module hosts the *summary
+primitives* shared between the per-module rules (LOCK001, VER001) and
+the whole-program layer (:mod:`repro.analysis.project`): what counts as
+creating a lock, what counts as a version bump, and what counts as a
+statistics mutation.  Keeping one definition means the per-module and
+interprocedural rules can never disagree about the invariant.
+"""
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import Iterator, List, Optional, Set
 
 __all__ = [
     "dotted_name",
@@ -12,6 +20,15 @@ __all__ = [
     "name_hint",
     "walk_functions",
     "enclosing_class",
+    "global_names",
+    "LOCK_FACTORIES",
+    "is_lock_create",
+    "VERSIONED_CLASSES",
+    "STATS_FIELDS",
+    "STATS_MUTATORS",
+    "bumps_version",
+    "first_self_mutation",
+    "first_stats_field_mutation",
 ]
 
 
@@ -102,3 +119,129 @@ def global_names(func: ast.AST) -> Set[str]:
         if isinstance(node, ast.Global):
             out.update(node.names)
     return out
+
+
+# ----------------------------------------------------------------------
+# Lock summaries (shared by LOCK001, LOCK002 and the project layer)
+# ----------------------------------------------------------------------
+
+#: factories whose result is treated as a lock object.  The names cover
+#: both ``threading`` and ``multiprocessing`` (plain and via a
+#: ``Manager()``/``get_context()`` handle): cross-process locks guard
+#: shared state exactly like thread locks and get the same discipline.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def is_lock_create(node: ast.AST) -> bool:
+    """True when ``node`` is a call to a known lock factory."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is not None:
+        return name.split(".")[-1] in LOCK_FACTORIES
+    # Factories reached through a call chain — multiprocessing idioms like
+    # ``Manager().Lock()`` or ``get_context("fork").RLock()`` — defeat
+    # dotted_name (the chain roots at a Call, not a Name).  The attribute
+    # leaf is still the factory name, so match on that.
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in LOCK_FACTORIES
+    )
+
+
+# ----------------------------------------------------------------------
+# Version-fence summaries (shared by VER001, VER002 and the project layer)
+# ----------------------------------------------------------------------
+
+#: classes whose ``version`` is a cache-invalidation fence.
+VERSIONED_CLASSES = {"StatisticsCatalog", "SelectivityFeedback"}
+
+#: mutable statistics fields tracked outside the versioned classes.
+STATS_FIELDS = {"histograms", "n_distinct", "size_distribution"}
+
+#: in-place container mutators that count as statistics edits.
+STATS_MUTATORS = {"append", "extend", "update", "clear", "pop", "popitem",
+                  "setdefault", "insert", "remove", "add", "discard"}
+
+
+def bumps_version(func: ast.AST) -> bool:
+    """True if the function body contains a version bump."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for t in targets:
+                if isinstance(t, ast.Attribute) and \
+                        t.attr in ("_version", "version"):
+                    return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "bump_version":
+                return True
+    return False
+
+
+def _is_version_target(target: ast.AST) -> bool:
+    return self_attr(target) in ("_version", "version")
+
+
+def first_self_mutation(func: ast.AST) -> Optional[ast.AST]:
+    """First statement mutating ``self``-reachable state, if any.
+
+    Locals assigned from ``self``-rooted expressions are tracked so
+    ``stats = self.table_stats(t); stats.histograms[c] = h`` counts.
+    """
+    derived: Set[str] = {"self"}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            rooted = root_name(node.value)
+            if rooted in derived:
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        derived.add(t.id)
+    for node in ast.walk(func):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for t in targets:
+            if isinstance(t, (ast.Attribute, ast.Subscript)):
+                if _is_version_target(t):
+                    continue
+                if root_name(t) in derived:
+                    return node
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in STATS_MUTATORS and \
+                    root_name(node.func.value) in derived:
+                return node
+    return None
+
+
+def first_stats_field_mutation(func: ast.AST) -> Optional[ast.AST]:
+    """First statement writing a known statistics field, if any."""
+    for node in ast.walk(func):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for t in targets:
+            # x.size_distribution = ...   (direct field store)
+            if isinstance(t, ast.Attribute) and t.attr in STATS_FIELDS:
+                if not (isinstance(t.value, ast.Name)
+                        and t.value.id == "self"):
+                    return node
+            # x.histograms[c] = ...       (keyed store into a field)
+            if isinstance(t, ast.Subscript) and \
+                    isinstance(t.value, ast.Attribute) and \
+                    t.value.attr in STATS_FIELDS:
+                return node
+        # x.histograms.update(...) etc.   (in-place mutator call)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in STATS_MUTATORS and \
+                    isinstance(node.func.value, ast.Attribute) and \
+                    node.func.value.attr in STATS_FIELDS:
+                return node
+    return None

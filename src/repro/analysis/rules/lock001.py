@@ -22,15 +22,10 @@ import ast
 from typing import Iterator, List, Optional, Set
 
 from ..engine import Finding, ModuleInfo, Rule, register
-from ._util import dotted_name, self_attr
+from ._util import is_lock_create as _is_lock_create
+from ._util import self_attr
 
 __all__ = ["LockDisciplineRule"]
-
-#: factories whose result is treated as a lock object.  The names cover
-#: both ``threading`` and ``multiprocessing`` (plain and via a
-#: ``Manager()``/``get_context()`` handle): cross-process locks guard
-#: shared state exactly like thread locks and get the same discipline.
-_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
 
 #: method calls that mutate a container in place.
 _MUTATORS = {
@@ -43,22 +38,6 @@ _MUTATORS = {
 #: happens before/after the object is shared.
 _EXEMPT_METHODS = {"__init__", "__new__", "__del__", "__post_init__",
                    "__getstate__", "__setstate__", "__reduce__"}
-
-
-def _is_lock_create(node: ast.AST) -> bool:
-    if not isinstance(node, ast.Call):
-        return False
-    name = dotted_name(node.func)
-    if name is not None:
-        return name.split(".")[-1] in _LOCK_FACTORIES
-    # Factories reached through a call chain — multiprocessing idioms like
-    # ``Manager().Lock()`` or ``get_context("fork").RLock()`` — defeat
-    # dotted_name (the chain roots at a Call, not a Name).  The attribute
-    # leaf is still the factory name, so match on that.
-    return (
-        isinstance(node.func, ast.Attribute)
-        and node.func.attr in _LOCK_FACTORIES
-    )
 
 
 def _with_lock_names(stmt: ast.With, owner: str) -> Set[str]:

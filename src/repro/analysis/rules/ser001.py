@@ -1,0 +1,169 @@
+"""SER001 — wire ``kind`` strings must round-trip encode/decode.
+
+Every document crossing a process boundary (plan-set exchange files from
+``tools.serialize``, cluster frames from ``repro.cluster.protocol``)
+carries a ``kind`` discriminator.  The encoder and decoder for a kind
+live in different functions — often different modules — so nothing
+structural stops an encoder from emitting a kind no decoder branch
+handles (readers raise on fresh files) or a decoder from keeping a
+branch for a kind nothing emits anymore (dead compatibility code that
+silently diverges).  This rule pools, project-wide:
+
+* **emitted kinds** — string constants assigned to a ``"kind"`` key
+  (dict literals and ``doc["kind"] = ...`` stores) inside encoder
+  functions (``encode_*``, ``*_to_dict``, ``dumps``);
+* **decoded kinds** — string constants compared against a
+  ``kind``-bearing expression inside decoder functions (``decode_*``,
+  ``*_from_dict``, ``loads``), plus the keys of module-level
+  ``*DECODER*`` dispatch dicts;
+
+and flags each kind present on one side only, at the emitting or
+comparing node.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple
+
+from ..engine import Finding, ProjectRule, register
+
+if TYPE_CHECKING:  # circular at runtime: project imports rules._util
+    from ..project import ProjectInfo
+
+__all__ = ["SerializeKindRule"]
+
+
+def _is_encoder_name(name: str) -> bool:
+    return (name.startswith("encode_") or name.endswith("_to_dict")
+            or name == "dumps")
+
+
+def _is_decoder_name(name: str) -> bool:
+    return (name.startswith("decode_") or name.endswith("_from_dict")
+            or name == "loads")
+
+
+def _mentions_kind(node: ast.AST) -> bool:
+    """True when an expression textually involves a ``kind`` lookup."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "kind" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "kind" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str) \
+                and sub.value == "kind":
+            return True
+    return False
+
+
+#: (path, lineno, col) provenance for the first sighting of a kind.
+_Loc = Tuple[str, int, int]
+
+
+@register
+class SerializeKindRule(ProjectRule):
+    name = "SER001"
+    description = (
+        "every wire `kind` emitted by an encoder has a decoder branch, "
+        "and every decoder branch has an emitter"
+    )
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        emitted: Dict[str, _Loc] = {}
+        decoded: Dict[str, _Loc] = {}
+        for fn in sorted(project.functions.values(), key=lambda f: f.qualname):
+            if _is_encoder_name(fn.name):
+                self._collect_emitted(fn.node, fn.path, emitted)
+            if _is_decoder_name(fn.name):
+                self._collect_decoded(fn.node, fn.path, decoded)
+        for record in project.modules.values():
+            self._collect_dispatch_tables(record.info.tree, record.info.path,
+                                          decoded)
+        if not emitted or not decoded:
+            return  # nothing serializes here; silence beats noise
+        for kind in sorted(set(emitted) - set(decoded)):
+            path, line, col = emitted[kind]
+            yield self.finding_loc(
+                path, line, col,
+                f"encoder emits kind {kind!r} but no decoder branch "
+                f"handles it; fresh wire documents of this kind are "
+                f"unreadable",
+            )
+        for kind in sorted(set(decoded) - set(emitted)):
+            path, line, col = decoded[kind]
+            yield self.finding_loc(
+                path, line, col,
+                f"decoder handles kind {kind!r} but no encoder emits it; "
+                f"dead branch, or the emitter was renamed without it",
+            )
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _collect_emitted(func: ast.AST, path: str,
+                         out: Dict[str, _Loc]) -> None:
+        for node in ast.walk(func):
+            # {"kind": "scalar", ...}
+            if isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (isinstance(key, ast.Constant) and key.value == "kind"
+                            and isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)):
+                        out.setdefault(
+                            value.value,
+                            (path, value.lineno, value.col_offset),
+                        )
+            # doc["kind"] = "query"
+            if isinstance(node, ast.Assign) and \
+                    isinstance(node.value, ast.Constant) and \
+                    isinstance(node.value.value, str):
+                for target in node.targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.slice, ast.Constant)
+                            and target.slice.value == "kind"):
+                        out.setdefault(
+                            node.value.value,
+                            (path, node.lineno, node.col_offset),
+                        )
+
+    @staticmethod
+    def _collect_decoded(func: ast.AST, path: str,
+                         out: Dict[str, _Loc]) -> None:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                continue
+            sides = [node.left, node.comparators[0]]
+            consts = [s for s in sides
+                      if isinstance(s, ast.Constant)
+                      and isinstance(s.value, str)]
+            exprs = [s for s in sides if not isinstance(s, ast.Constant)]
+            if len(consts) != 1 or len(exprs) != 1:
+                continue
+            if _mentions_kind(exprs[0]):
+                const = consts[0]
+                out.setdefault(
+                    str(const.value),
+                    (path, const.lineno, const.col_offset),
+                )
+
+    @staticmethod
+    def _collect_dispatch_tables(tree: ast.Module, path: str,
+                                 out: Dict[str, _Loc]) -> None:
+        for node in tree.body:
+            if not isinstance(node, ast.Assign) or \
+                    not isinstance(node.value, ast.Dict):
+                continue
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if not any("DECODER" in n.upper() for n in names):
+                continue
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str):
+                    out.setdefault(
+                        key.value, (path, key.lineno, key.col_offset),
+                    )

@@ -22,38 +22,21 @@ bumps the fence.  Two checks enforce that:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set
+from typing import Iterator
 
 from ..engine import Finding, ModuleInfo, Rule, register
-from ._util import enclosing_class, root_name, self_attr
+from ._util import (
+    STATS_FIELDS as _STATS_FIELDS,
+    VERSIONED_CLASSES as _VERSIONED_CLASSES,
+    bumps_version as _bumps_version,
+    enclosing_class,
+    first_self_mutation,
+    first_stats_field_mutation,
+)
 
 __all__ = ["VersionFenceRule"]
 
-#: classes whose ``version`` is a cache-invalidation fence.
-_VERSIONED_CLASSES = {"StatisticsCatalog", "SelectivityFeedback"}
-
-#: mutable statistics fields tracked outside the versioned classes.
-_STATS_FIELDS = {"histograms", "n_distinct", "size_distribution"}
-
-#: in-place container mutators.
-_MUTATORS = {"append", "extend", "update", "clear", "pop", "popitem",
-             "setdefault", "insert", "remove", "add", "discard"}
-
 _EXEMPT_METHODS = {"__init__", "__new__", "__post_init__", "bump_version"}
-
-
-def _bumps_version(func: ast.AST) -> bool:
-    """True if the function body contains a version bump."""
-    for node in ast.walk(func):
-        if isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for t in targets:
-                if isinstance(t, ast.Attribute) and t.attr in ("_version", "version"):
-                    return True
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr == "bump_version":
-                return True
-    return False
 
 
 @register
@@ -84,7 +67,7 @@ class VersionFenceRule(Rule):
                 continue
             if stmt.name in _EXEMPT_METHODS:
                 continue
-            mutation = self._first_self_mutation(stmt)
+            mutation = first_self_mutation(stmt)
             if mutation is not None and not _bumps_version(stmt):
                 yield self.finding(
                     module, mutation,
@@ -93,52 +76,13 @@ class VersionFenceRule(Rule):
                     f"bump_version())",
                 )
 
-    def _first_self_mutation(self, func: ast.AST) -> Optional[ast.AST]:
-        """First statement mutating self-reachable state, if any.
-
-        Locals assigned from ``self``-rooted expressions are tracked so
-        ``stats = self.table_stats(t); stats.histograms[c] = h`` counts.
-        """
-        derived: Set[str] = {"self"}
-        for node in ast.walk(func):
-            if isinstance(node, ast.Assign):
-                rooted = root_name(node.value)
-                if rooted in derived:
-                    for t in node.targets:
-                        if isinstance(t, ast.Name):
-                            derived.add(t.id)
-        for node in ast.walk(func):
-            targets: List[ast.AST] = []
-            if isinstance(node, ast.Assign):
-                targets = list(node.targets)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                targets = [node.target]
-            elif isinstance(node, ast.Delete):
-                targets = list(node.targets)
-            for t in targets:
-                if isinstance(t, (ast.Attribute, ast.Subscript)):
-                    if t is not None and self._is_version_target(t):
-                        continue
-                    if root_name(t) in derived:
-                        return node
-            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-                if node.func.attr in _MUTATORS and \
-                        root_name(node.func.value) in derived:
-                    return node
-        return None
-
-    @staticmethod
-    def _is_version_target(target: ast.AST) -> bool:
-        attr = self_attr(target)
-        return attr in ("_version", "version")
-
     # ------------------------------------------------------------------
     # Out-of-band statistics edits anywhere else
     # ------------------------------------------------------------------
 
     def _check_stats_fields(self, module: ModuleInfo,
                             func: ast.AST) -> Iterator[Finding]:
-        mutation = self._first_stats_field_mutation(func)
+        mutation = first_stats_field_mutation(func)
         if mutation is not None and not _bumps_version(func):
             yield self.finding(
                 module, mutation,
@@ -146,29 +90,3 @@ class VersionFenceRule(Rule):
                 f"({'/'.join(sorted(_STATS_FIELDS))}) without bumping the "
                 f"owning catalog's version fence",
             )
-
-    def _first_stats_field_mutation(self, func: ast.AST) -> Optional[ast.AST]:
-        for node in ast.walk(func):
-            targets: List[ast.AST] = []
-            if isinstance(node, ast.Assign):
-                targets = list(node.targets)
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                targets = [node.target]
-            for t in targets:
-                # x.size_distribution = ...   (direct field store)
-                if isinstance(t, ast.Attribute) and t.attr in _STATS_FIELDS:
-                    if not (isinstance(t.value, ast.Name)
-                            and t.value.id == "self"):
-                        return node
-                # x.histograms[c] = ...       (keyed store into a field)
-                if isinstance(t, ast.Subscript) and \
-                        isinstance(t.value, ast.Attribute) and \
-                        t.value.attr in _STATS_FIELDS:
-                    return node
-            # x.histograms.update(...) etc.   (in-place mutator call)
-            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-                if node.func.attr in _MUTATORS and \
-                        isinstance(node.func.value, ast.Attribute) and \
-                        node.func.value.attr in _STATS_FIELDS:
-                    return node
-        return None

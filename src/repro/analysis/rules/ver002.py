@@ -1,0 +1,90 @@
+"""VER002 — interprocedural version-fence coverage.
+
+VER001 checks each function in isolation: a statistics mutation and its
+version bump must share a function body.  That misses the cross-module
+shape the serving tier actually has — a public entry point (a facade
+method, a service handler) that reaches a catalog/feedback mutation two
+or three calls down, where *neither* the entry nor the mutator bumps the
+fence.  The plan cache would then happily serve plans optimized against
+statistics that no longer exist.
+
+This rule walks the whole-program call graph from every public function
+in non-test modules and flags entry points from which some sync call
+path reaches a statistics mutation without crossing a version bump.  A
+path is pruned the moment it passes through a function that bumps
+(``self._version``/``bump_version()``) — the fence is then maintained on
+that path.  Constructors (``__init__``/``__new__``/``__post_init__``)
+and ``bump_version`` itself are never counted as mutators: objects under
+construction are not yet visible to any cache.  Direct, same-function
+violations are VER001's job; this rule only reports chains of length
+two or more.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from ..engine import Finding, ProjectRule, register
+
+if TYPE_CHECKING:  # circular at runtime: project imports rules._util
+    from ..project import ProjectInfo
+
+__all__ = ["VersionFenceChainRule"]
+
+_EXEMPT_MUTATORS = {"__init__", "__new__", "__post_init__", "bump_version"}
+
+_IN_PROGRESS = "<in progress>"
+
+
+@register
+class VersionFenceChainRule(ProjectRule):
+    name = "VER002"
+    description = (
+        "public entry points must not reach a catalog/feedback mutation "
+        "along a path with no version bump"
+    )
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        memo: Dict[str, Optional[List[str]]] = {}
+        for fn in sorted(project.functions.values(), key=lambda f: f.qualname):
+            if not fn.is_public or fn.module.startswith("tests"):
+                continue
+            if fn.name in _EXEMPT_MUTATORS:
+                continue
+            chain = self._mutation_chain(project, fn.qualname, memo)
+            if chain is None or len(chain) < 2:
+                continue  # length-1 chains are VER001 territory
+            via = " -> ".join(chain)
+            yield self.finding_at(
+                fn.path, fn.node,
+                f"public entry {fn.qualname} reaches a statistics "
+                f"mutation via {via} with no version bump on the path; "
+                f"the plan cache will serve plans keyed on a stale "
+                f"catalog version",
+            )
+
+    def _mutation_chain(self, project: ProjectInfo, qualname: str,
+                        memo: Dict[str, Optional[List[str]]],
+                        ) -> Optional[List[str]]:
+        """A bump-free path ``[fn, ..., mutator]``, or None if none exists."""
+        if qualname in memo:
+            cached = memo[qualname]
+            return None if cached == [_IN_PROGRESS] else cached
+        memo[qualname] = [_IN_PROGRESS]  # cycle guard
+        result: Optional[List[str]] = None
+        fn = project.functions.get(qualname)
+        if fn is not None and not fn.bumps_version:
+            if fn.mutates_stats is not None and \
+                    fn.name not in _EXEMPT_MUTATORS:
+                result = [qualname]
+            else:
+                for cs in fn.calls:
+                    for callee in cs.callees:
+                        sub = self._mutation_chain(project, callee, memo)
+                        if sub is not None:
+                            result = [qualname] + sub
+                            break
+                    if result is not None:
+                        break
+        memo[qualname] = result
+        return result

@@ -36,7 +36,7 @@ import multiprocessing
 import socket
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.context import query_fingerprint
 from ..costmodel.model import CostModel
@@ -212,12 +212,29 @@ class ClusterGateway:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    async def _offload(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run one blocking Manager round trip off the event loop.
+
+        Every touch of the Manager process (allocation, shutdown, shared
+        dict access) is a synchronous cross-process RPC; on the loop it
+        would stall every in-flight request, so it goes to the default
+        executor instead (ASYNC001 enforces this).
+        """
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    def _allocate_shared(self):
+        """Blocking: spawn the Manager process and its shared structures."""
+        manager = self._ctx.Manager()
+        return manager, make_shared_state(manager)
+
     async def start(self) -> "ClusterGateway":
         """Allocate the shared tier and spawn every worker."""
         if self._started:
             raise GatewayError("gateway already started")
-        self._manager = self._ctx.Manager()
-        self._shared_state = make_shared_state(self._manager)
+        self._manager, self._shared_state = await self._offload(
+            self._allocate_shared
+        )
         self.shared_tier = SharedPlanTier(
             self._shared_state, max_entries=self._shared_max_entries
         )
@@ -266,8 +283,8 @@ class ClusterGateway:
                     ))
             shard.pending.clear()
         if self._manager is not None:
-            self._manager.shutdown()
-            self._manager = None
+            manager, self._manager = self._manager, None
+            await self._offload(manager.shutdown)
 
     async def _join_proc(self, shard: _Shard, timeout: float = 5.0) -> None:
         proc = shard.proc
@@ -479,7 +496,7 @@ class ClusterGateway:
                 "cluster.catalog_invalidations"
             ).increment()
             if self.shared_tier is not None:
-                self.shared_tier.invalidate_stale(current)
+                await self._offload(self.shared_tier.invalidate_stale, current)
             frame = encode_frame(
                 {"type": "version", "version": list(current)}
             )
@@ -609,14 +626,19 @@ class ClusterGateway:
         if proc is not None and proc.is_alive():
             proc.kill()
 
+    def _shared_entries(self) -> int:
+        """Blocking: shared-tier entry count (one Manager round trip)."""
+        return len(self.shared_tier) if self.shared_tier is not None else 0
+
     async def snapshot(self) -> Dict[str, Any]:
         """Cluster-wide aggregated metrics (see ClusterMetrics.aggregate)."""
         self._require_started()
         pongs = await self.check_health()
+        shared_entries = await self._offload(self._shared_entries)
         return self.metrics.aggregate(
             pongs,
             shed_depths=[len(s.pending) for s in self._shards],
             restarts=[s.restarts for s in self._shards],
             admission=self.admission.stats(),
-            shared_entries=len(self.shared_tier) if self.shared_tier else 0,
+            shared_entries=shared_entries,
         )

@@ -124,6 +124,10 @@ def read_frame(stream) -> Optional[Dict[str, Any]]:
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
+    if length == 0:
+        # The empty payload is not valid JSON, so a zero-length prefix
+        # can only be stream corruption; reject it before reading.
+        raise ProtocolError("zero-length frame")
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds limit")
     payload = _read_exact(stream, length)
@@ -155,6 +159,8 @@ class FrameDecoder:
             if len(self._buffer) < _HEADER.size:
                 return
             (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
+            if length == 0:
+                raise ProtocolError("zero-length frame")
             if length > MAX_FRAME_BYTES:
                 raise ProtocolError(f"frame of {length} bytes exceeds limit")
             end = _HEADER.size + length

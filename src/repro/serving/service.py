@@ -338,14 +338,25 @@ class OptimizerService:
         return tuple(int(s.version) for s in self._sources)
 
     def _refresh_catalog_version(self) -> Tuple[int, ...]:
-        """Detect catalog/feedback mutations; evict stale plans eagerly."""
+        """Detect catalog/feedback mutations; evict stale plans eagerly.
+
+        Only the fence comparison runs under ``_version_lock``; the
+        eviction itself happens outside it because the cache may be a
+        :class:`~repro.cluster.shared_cache.TieredPlanCache` whose shared
+        tier takes the Manager lock — a cross-process round trip that
+        must not be held under an in-process lock (LOCK002).  Eviction is
+        idempotent (it drops anything older than ``current``), so two
+        racing refreshers at worst both invalidate.
+        """
         current = self._catalog_version()
         with self._version_lock:
-            if current != self._last_version:
+            changed = current != self._last_version
+            if changed:
                 self._last_version = current
-                if self.cache is not None:
-                    self.cache.invalidate_stale(current)
-                self.metrics.counter("serving.catalog_invalidations").increment()
+        if changed:
+            if self.cache is not None:
+                self.cache.invalidate_stale(current)
+            self.metrics.counter("serving.catalog_invalidations").increment()
         return current
 
     # ------------------------------------------------------------------

@@ -219,6 +219,11 @@ class TestCli:
     def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
         path = self._write_pkg(tmp_path, "x = 1\n")
         assert cli_main([path, "--rules", "NOPE999"]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE999" in err
+        # The error names the valid rules so the fix is self-evident.
+        for name in ("DET001", "LOCK002", "ASYNC001"):
+            assert name in err
 
     def test_missing_path_is_usage_error(self, capsys):
         assert cli_main(["definitely/not/here.py", "--no-baseline"]) == 2
@@ -226,5 +231,66 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for name in ("LOCK001", "VER001", "FLT001", "DET001", "DIST001"):
+        for name in ("LOCK001", "VER001", "FLT001", "DET001", "DIST001",
+                     "ASYNC001", "LOCK002", "VER002", "SER001"):
             assert name in out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, BAD_DET)
+        assert cli_main([path, "--no-baseline", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "optlint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "DET001" in rule_ids and "ASYNC001" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("mod.py")
+        assert loc["region"]["startLine"] == 2
+        assert loc["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+    def test_sarif_on_clean_tree_has_no_results(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, "x = 1\n")
+        assert cli_main([path, "--no-baseline", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+    def test_github_format(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, BAD_DET)
+        assert cli_main([path, "--no-baseline", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "line=2" in out and "DET001" in out
+
+    def test_github_format_is_silent_when_clean(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, "x = 1\n")
+        assert cli_main([path, "--no-baseline", "--format", "github"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_stats_line_on_stderr(self, tmp_path, capsys):
+        path = self._write_pkg(tmp_path, "x = 1\n")
+        assert cli_main([path, "--no-baseline", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "optlint: 1 file(s)" in err
+        assert "project rules" in err
+
+
+class TestParseCache:
+    def test_reparse_is_cached_by_content(self):
+        from repro.analysis.engine import parse_cached
+
+        a = parse_cached("cache_probe.py", "x = 1\n")
+        b = parse_cached("cache_probe.py", "x = 1\n")
+        c = parse_cached("cache_probe.py", "x = 2\n")
+        assert a is b
+        assert c is not a
+
+    def test_distinct_paths_do_not_share_entries(self):
+        from repro.analysis.engine import parse_cached
+
+        a = parse_cached("cache_a.py", "x = 1\n")
+        b = parse_cached("cache_b.py", "x = 1\n")
+        assert a is not b
+        assert a.path == "cache_a.py" and b.path == "cache_b.py"

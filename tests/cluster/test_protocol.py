@@ -47,6 +47,23 @@ class TestFraming:
         with pytest.raises(ProtocolError, match="exceeds limit"):
             read_frame(buf)
 
+    def test_zero_length_prefix_raises(self):
+        # An empty payload can never be valid JSON; reject it at the
+        # header instead of surfacing a confusing decode error.
+        frame = encode_frame({"type": "ping", "seq": 3})
+        buf = io.BytesIO(struct.pack(">I", 0) + frame)
+        with pytest.raises(ProtocolError, match="zero-length"):
+            read_frame(buf)
+
+    def test_zero_length_prefix_consumes_nothing_after_header(self):
+        # The valid frame after the bad header must still be unread: the
+        # reader rejects at the header without touching the payload.
+        frame = encode_frame({"type": "ping", "seq": 4})
+        buf = io.BytesIO(struct.pack(">I", 0) + frame)
+        with pytest.raises(ProtocolError, match="zero-length"):
+            read_frame(buf)
+        assert buf.read() == frame
+
     def test_untyped_payload_raises(self):
         payload = json.dumps([1, 2, 3]).encode()
         buf = io.BytesIO(struct.pack(">I", len(payload)) + payload)
@@ -86,6 +103,19 @@ class TestFrameDecoder:
         decoder = FrameDecoder()
         with pytest.raises(ProtocolError, match="exceeds limit"):
             list(decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 7)))
+
+    def test_zero_length_prefix_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="zero-length"):
+            list(decoder.feed(struct.pack(">I", 0)))
+
+    def test_zero_length_prefix_rejected_even_with_more_buffered(self):
+        # A zero-length header followed by a complete valid frame must
+        # not let the decoder resynchronize silently past corruption.
+        decoder = FrameDecoder()
+        wire = struct.pack(">I", 0) + encode_frame({"type": "ping", "seq": 1})
+        with pytest.raises(ProtocolError, match="zero-length"):
+            list(decoder.feed(wire))
 
 
 class TestMemoryDocuments:
