@@ -25,6 +25,22 @@ from repro.experiments.harness import run_experiment
 _SNAPSHOTS: Dict[str, dict] = {}
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads (CI's bench-kernel job); "
+        "speedup gates still apply, wall-clock shrinks",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request) -> bool:
+    """True when the session runs with ``--quick``."""
+    return bool(request.config.getoption("--quick"))
+
+
 def record_snapshot(name: str, payload: dict) -> None:
     """Register a payload to be written to ``BENCH_<name>.json``."""
     _SNAPSHOTS[name] = payload

@@ -4,7 +4,8 @@
 invariants — sorted unique support, non-negative mass summing to one,
 frozen arrays, cached prefix sums consistent with both — *only* in its
 constructor, which sorts, merges and renormalizes.  Reaching into the
-private arrays (``_values``/``_probs``/``_cdf``/``_weighted_prefix``)
+private arrays (``_values``/``_probs``/``_cdf``/``_weighted_prefix``/
+``_tail``)
 from outside bypasses every one of those guarantees: a mutated ``_probs``
 silently desynchronizes the cached CDF and every expectation computed
 afterwards is wrong.
@@ -26,8 +27,9 @@ from ._util import dotted_name
 
 __all__ = ["DistributionEncapsulationRule"]
 
-#: the private state backing a DiscreteDistribution.
-_INTERNALS = {"_values", "_probs", "_cdf", "_weighted_prefix"}
+#: the private state backing a DiscreteDistribution (``_tail`` is the
+#: lazily built survival-prefix cache behind ``sf_arrays()``).
+_INTERNALS = {"_values", "_probs", "_cdf", "_weighted_prefix", "_tail"}
 
 
 def _defines_distribution(module: ModuleInfo) -> bool:

@@ -21,9 +21,9 @@ from typing import Optional
 
 from ..core.expected_cost import (
     FAST_METHODS,
-    expected_external_sort_cost,
-    expected_join_cost_fast,
+    expected_external_sort_cost_model,
     expected_join_cost_naive,
+    expected_join_cost_naive_model,
 )
 from ..costmodel.model import CostModel
 from ..optimizer.costers import MultiParamCoster
@@ -50,6 +50,7 @@ def optimize_algorithm_d(
     allow_cross_products: bool = False,
     top_k: int = 1,
     context: Optional[OptimizationContext] = None,
+    level_batching: Optional[bool] = None,
 ) -> OptimizationResult:
     """LEC optimization with distributional sizes and selectivities.
 
@@ -62,6 +63,10 @@ def optimize_algorithm_d(
         sort-merge / nested-loop / Grace hash instead of the naive triple
         loop.  Identical results (up to float rounding), fewer formula
         evaluations.
+    level_batching:
+        Forwarded to :class:`~repro.optimizer.systemr.SystemRDP`: batch
+        each DP level's join steps through the vectorized kernel.
+        Bit-identical plans and costs either way.
     """
     coster = MultiParamCoster(
         memory,
@@ -75,6 +80,7 @@ def optimize_algorithm_d(
         allow_cross_products=allow_cross_products,
         top_k=top_k,
         context=context,
+        level_batching=level_batching,
     )
     return engine.optimize(query)
 
@@ -154,7 +160,40 @@ def plan_expected_cost_multiparam(
         for nxt in arm_dists[1:]:
             acc = context.rebucket(context.convolve(acc, nxt), max_buckets)
         acc = acc.clip(lo=lo_sum * (1.0 - 1e-9), hi=hi_sum * (1.0 + 1e-9))
-        return total + expected_external_sort_cost(acc, memory, cm.sort_cost)
+        return total + expected_external_sort_cost_model(cm, acc, memory)
+
+    def join_presorted(node: Join):
+        target = node.output_order_label
+        lsorted = node.left.order == target
+        rsorted = node.right.order == target
+        presorted = node.method is JoinMethod.SORT_MERGE and (lsorted or rsorted)
+        return presorted, lsorted, rsorted
+
+    # Pass 1: hand every fast-path join to the batched kernel in one call;
+    # the accumulation below then walks nodes in the original order, so
+    # the running total matches the sequential evaluator bit-for-bit.
+    batched_costs = {}
+    if fast:
+        fast_nodes = [
+            node
+            for node in plan.nodes()
+            if isinstance(node, Join)
+            and node.method in FAST_METHODS
+            and not join_presorted(node)[0]
+        ]
+        if fast_nodes:
+            costs = context.batched_join_costs(
+                [
+                    (
+                        node.method,
+                        size_dist(node.left.relations()),
+                        size_dist(node.right.relations()),
+                    )
+                    for node in fast_nodes
+                ],
+                memory,
+            )
+            batched_costs = {id(n): c for n, c in zip(fast_nodes, costs)}
 
     total = 0.0
     for node in plan.nodes():
@@ -165,19 +204,14 @@ def plan_expected_cost_multiparam(
         elif isinstance(node, UnionNode):
             total += union_cost(node)
         elif isinstance(node, Sort):
-            total += expected_external_sort_cost(
-                size_dist(node.child.relations()), memory, cm.sort_cost
+            total += expected_external_sort_cost_model(
+                cm, size_dist(node.child.relations()), memory
             )
         else:
             assert isinstance(node, Join)
             ld = size_dist(node.left.relations())
             rd = size_dist(node.right.relations())
-            target = node.output_order_label
-            lsorted = node.left.order == target
-            rsorted = node.right.order == target
-            presorted = node.method is JoinMethod.SORT_MERGE and (
-                lsorted or rsorted
-            )
+            presorted, lsorted, rsorted = join_presorted(node)
             if presorted:
                 # Interesting-order credit: same formula the DP's coster
                 # applies; no linear-time path exists for this variant.
@@ -185,11 +219,11 @@ def plan_expected_cost_multiparam(
                     return cm.sort_merge_cost_ordered(l, r, m, lsorted, rsorted)
 
                 total += expected_join_cost_naive(fn, node.method, ld, rd, memory)
-            elif fast and node.method in FAST_METHODS:
-                total += expected_join_cost_fast(node.method, ld, rd, memory)
+            elif id(node) in batched_costs:
+                total += batched_costs[id(node)]
             else:
-                total += expected_join_cost_naive(
-                    cm.join_cost, node.method, ld, rd, memory
+                total += expected_join_cost_naive_model(
+                    cm, node.method, ld, rd, memory
                 )
             if id(node) not in exempt:
                 total += size_dist(node.relations()).mean()

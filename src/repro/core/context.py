@@ -44,8 +44,19 @@ E4/E7-style overhead accounting rest on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..plans.properties import JoinMethod
 from ..costmodel.estimates import (
     SizeEstimate,
     subset_size,
@@ -53,8 +64,8 @@ from ..costmodel.estimates import (
     subset_size_distribution,
 )
 from ..costmodel.model import CostModel
-from .distributions import DiscreteDistribution, independent_product
-from .expected_cost import _SurvivalTable
+from .distributions import DiscreteDistribution
+from .expected_cost import _SurvivalTable, expected_join_costs_batched
 
 __all__ = ["CacheStats", "OptimizationContext", "query_fingerprint"]
 
@@ -176,6 +187,7 @@ class OptimizationContext:
             "dist_ops": CacheStats(),
             "survival_tables": CacheStats(),
             "step_costs": CacheStats(),
+            "batched_joins": CacheStats(),
         }
 
     # ------------------------------------------------------------------
@@ -267,17 +279,13 @@ class OptimizationContext:
         self, a: DiscreteDistribution, b: DiscreteDistribution
     ) -> DiscreteDistribution:
         """Cached distribution of ``X · Y`` for independent ``X, Y``."""
-        return self._dist_op(
-            ("mul", a, b), lambda: independent_product(lambda x, y: x * y, a, b)
-        )
+        return self._dist_op(("mul", a, b), lambda: a.multiply(b))
 
     def convolve(
         self, a: DiscreteDistribution, b: DiscreteDistribution
     ) -> DiscreteDistribution:
         """Cached distribution of ``X + Y`` for independent ``X, Y``."""
-        return self._dist_op(
-            ("add", a, b), lambda: independent_product(lambda x, y: x + y, a, b)
-        )
+        return self._dist_op(("add", a, b), lambda: a.convolve(b))
 
     def rebucket(
         self,
@@ -348,6 +356,64 @@ class OptimizationContext:
         value = compute()
         self._cost_memo[key] = value
         return value
+
+    def has_step_cost(self, key: Hashable) -> bool:
+        """True when ``key`` is already memoized (no counters touched).
+
+        Prefetchers use this to decide what still needs computing without
+        distorting the hit/miss accounting that :meth:`step_cost` keeps.
+        """
+        return key in self._cost_memo
+
+    # ------------------------------------------------------------------
+    # Layer 5: batched fast-path join expectations
+    # ------------------------------------------------------------------
+
+    def batched_join_costs(
+        self,
+        requests: Sequence[
+            Tuple[JoinMethod, DiscreteDistribution, DiscreteDistribution]
+        ],
+        memory: DiscreteDistribution,
+    ) -> List[float]:
+        """``E[Φ]`` for many fast-path joins, one array kernel invocation.
+
+        ``requests`` is a sequence of ``(method, left_dist, right_dist)``
+        triples; the returned list is aligned with it.  Each triple is
+        memoized under a value-based key, duplicate triples inside one
+        call are computed once, and only the memo misses reach the
+        vectorized kernel — with the survival table shared across the
+        whole batch (the paper's C7 amortisation).  Every value is
+        bit-identical to the equivalent single-pair
+        :func:`~repro.core.expected_cost.expected_join_cost_fast` call,
+        so batching can never change which plan a DP level picks.
+        """
+        stats = self._stats["batched_joins"]
+        keys = [
+            ("fastjoin", memory, method, left, right)
+            for method, left, right in requests
+        ]
+        out: List[Optional[float]] = [None] * len(requests)
+        missing: Dict[Hashable, List[int]] = {}
+        for i, key in enumerate(keys):
+            cached = self._cost_memo.get(key)
+            if cached is not None:
+                stats.hits += 1
+                out[i] = cached
+            else:
+                missing.setdefault(key, []).append(i)
+        if missing:
+            uniq = [requests[positions[0]] for positions in missing.values()]
+            values = expected_join_costs_batched(
+                uniq, memory, survival=self.survival_table(memory)
+            )
+            for (key, positions), value in zip(missing.items(), values):
+                stats.misses += 1
+                v = float(value)
+                self._cost_memo[key] = v
+                for i in positions:
+                    out[i] = v
+        return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Observability

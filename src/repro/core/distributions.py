@@ -82,7 +82,7 @@ class DiscreteDistribution:
     2000.0
     """
 
-    __slots__ = ("_values", "_probs", "_cdf", "_weighted_prefix", "_hash")
+    __slots__ = ("_values", "_probs", "_cdf", "_weighted_prefix", "_tail", "_hash")
 
     def __init__(self, values: Iterable[float], probs: Iterable[float]):
         vals = _as_float_array(values)
@@ -131,6 +131,9 @@ class DiscreteDistribution:
         self._probs.setflags(write=False)
         self._cdf = np.cumsum(prbs)
         self._weighted_prefix = np.cumsum(vals * prbs)
+        self._cdf.setflags(write=False)
+        self._weighted_prefix.setflags(write=False)
+        self._tail: Optional[np.ndarray] = None
         self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -167,6 +170,51 @@ class DiscreteDistribution:
         if idx < self._values.size and self._values[idx] == value:
             return float(self._probs[idx])
         return 0.0
+
+    @property
+    def cdf_array(self) -> np.ndarray:
+        """``Pr(X <= values[i])`` per support point (read-only array).
+
+        The prefix table the linear-time expected-cost algorithms gather
+        from; cached at construction so no caller ever re-cumsums it.
+        """
+        return self._cdf
+
+    @property
+    def weighted_prefix_array(self) -> np.ndarray:
+        """``E[X ; X <= values[i]]`` per support point (read-only array)."""
+        return self._weighted_prefix
+
+    def sf_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(Pr(X >= values[i]), Pr(X > values[i]))`` suffix tables.
+
+        Computed once per instance and cached (the survival table the
+        paper amortises across all dag nodes); both arrays are read-only
+        views into one suffix-sum buffer.
+        """
+        if self._tail is None:
+            suffix = np.concatenate([np.cumsum(self._probs[::-1])[::-1], [0.0]])
+            suffix.setflags(write=False)
+            self._tail = suffix
+        return self._tail[:-1], self._tail[1:]
+
+    def cdf_many(self, xs) -> np.ndarray:
+        """Vectorized :meth:`cdf`: ``Pr(X <= x)`` for an array of ``x``."""
+        xs = np.asarray(xs, dtype=float)
+        idx = np.searchsorted(self._values, xs, side="right")
+        return np.where(idx > 0, self._cdf[np.maximum(idx - 1, 0)], 0.0)
+
+    def sf_many(self, xs) -> np.ndarray:
+        """Vectorized :meth:`sf`: ``Pr(X > x)`` for an array of ``x``."""
+        return 1.0 - self.cdf_many(xs)
+
+    def prob_of_many(self, xs) -> np.ndarray:
+        """Vectorized :meth:`prob_of`: point mass at each of ``xs``."""
+        xs = np.asarray(xs, dtype=float)
+        idx = np.searchsorted(self._values, xs)
+        safe = np.minimum(idx, self._values.size - 1)
+        hit = (idx < self._values.size) & (self._values[safe] == xs)
+        return np.where(hit, self._probs[safe], 0.0)
 
     def is_point_mass(self) -> bool:
         """True when the entire mass sits on a single value."""
@@ -348,12 +396,21 @@ class DiscreteDistribution:
         return DiscreteDistribution(vals, probs)
 
     def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
-        """Return the distribution of ``X + Y`` for independent X, Y."""
-        return independent_product(lambda x, y: x + y, self, other)
+        """Return the distribution of ``X + Y`` for independent X, Y.
+
+        Outer-sum over the two supports; the constructor's sort/merge
+        pass dedups equal outcomes.  Same enumeration order (left-major)
+        as the generic :func:`independent_product` route it replaces.
+        """
+        vals = np.add.outer(self._values, other._values).ravel()
+        probs = np.multiply.outer(self._probs, other._probs).ravel()
+        return DiscreteDistribution(vals, probs)
 
     def multiply(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
         """Return the distribution of ``X · Y`` for independent X, Y."""
-        return independent_product(lambda x, y: x * y, self, other)
+        vals = np.multiply.outer(self._values, other._values).ravel()
+        probs = np.multiply.outer(self._probs, other._probs).ravel()
+        return DiscreteDistribution(vals, probs)
 
     # ------------------------------------------------------------------
     # Rebucketing (Section 3.6.3)
@@ -388,37 +445,36 @@ class DiscreteDistribution:
             raise ValueError(f"unknown rebucket strategy {strategy!r}")
         return self._merge_by_edges(edges)
 
-    def _equidepth_edges(self, n_buckets: int) -> List[int]:
+    def _equidepth_edges(self, n_buckets: int) -> np.ndarray:
         """Index boundaries splitting support into ~equal-mass groups."""
-        targets = [(k + 1) / n_buckets for k in range(n_buckets - 1)]
-        edges: List[int] = []
-        for t in targets:
-            idx = int(np.searchsorted(self._cdf, t - 1e-12, side="left")) + 1
-            if edges and idx <= edges[-1]:
-                idx = edges[-1] + 1
-            if idx >= self._values.size:
-                break
-            edges.append(idx)
-        return edges
+        targets = np.arange(1, n_buckets) / n_buckets
+        idx = np.searchsorted(self._cdf, targets - 1e-12, side="left") + 1
+        # Enforce strictly increasing edges: out[i] = max(idx[i], out[i-1]+1)
+        # is exactly a running max of (idx[i] - i) shifted back by i.
+        ramp = np.arange(idx.size)
+        edges = np.maximum.accumulate(idx - ramp) + ramp
+        return edges[edges < self._values.size]
 
-    def _equiwidth_edges(self, n_buckets: int) -> List[int]:
+    def _equiwidth_edges(self, n_buckets: int) -> np.ndarray:
         """Index boundaries splitting the value range into equal widths."""
         lo, hi = float(self._values[0]), float(self._values[-1])
         if hi == lo:
-            return []
+            return np.empty(0, dtype=np.intp)
         width = (hi - lo) / n_buckets
-        edges: List[int] = []
-        for k in range(1, n_buckets):
-            cut = lo + k * width
-            idx = int(np.searchsorted(self._values, cut, side="right"))
-            if edges and idx <= edges[-1]:
-                continue
-            if 0 < idx < self._values.size:
-                edges.append(idx)
-        return edges
+        cuts = lo + np.arange(1, n_buckets) * width
+        idx = np.searchsorted(self._values, cuts, side="right")
+        # idx is non-decreasing (cuts ascend), so dedup keeps the first
+        # occurrence — the same edge the old skip-if-not-larger loop kept.
+        idx = np.unique(idx)
+        return idx[(idx > 0) & (idx < self._values.size)]
 
     def _merge_by_edges(self, edges: Sequence[int]) -> "DiscreteDistribution":
-        bounds = [0, *edges, self._values.size]
+        # Per-segment reductions stay as np.sum / np.dot on slices: the
+        # loop runs over *output* buckets (a handful), and the pairwise /
+        # BLAS reductions here are part of the numeric contract — a
+        # different summation order would shift representatives by an ulp
+        # and, through equidepth edge placement, move whole buckets.
+        bounds = [0, *(int(e) for e in edges), self._values.size]
         vals: List[float] = []
         probs: List[float] = []
         for a, b in zip(bounds[:-1], bounds[1:]):
@@ -440,13 +496,9 @@ class DiscreteDistribution:
         representative).  Used by level-set-aware bucketing, where the
         boundaries come from cost-formula breakpoints.
         """
-        cuts = sorted(set(float(b) for b in boundaries))
-        edges = [
-            int(np.searchsorted(self._values, c, side="left"))
-            for c in cuts
-        ]
-        edges = sorted({e for e in edges if 0 < e < self._values.size})
-        return self._merge_by_edges(edges)
+        cuts = np.unique(np.asarray(list(boundaries), dtype=float))
+        edges = np.unique(np.searchsorted(self._values, cuts, side="left"))
+        return self._merge_by_edges(edges[(edges > 0) & (edges < self._values.size)])
 
     # ------------------------------------------------------------------
     # Sampling

@@ -14,26 +14,44 @@ all uncertain (Section 3.6):
 
 Both routes must agree to floating-point accuracy; experiment E7 checks
 the equality and measures the speedup.
+
+Batched evaluation
+------------------
+The fast paths are implemented as *one* array kernel over a whole batch
+of ``(method, left, right)`` requests: operand supports are padded into
+2-d arrays, the survival/prefix lookups become ``searchsorted`` +
+``take_along_axis`` gathers, and each pair's bucket contributions are
+reduced with a per-row ``np.cumsum`` — a strictly sequential,
+left-to-right summation, so a pair's cost is bit-identical whether it
+is evaluated alone or inside a batch of any size (exact-0.0 padding
+terms cannot perturb a sequential float sum).  The single-pair public
+functions route through the batch kernel with ``n = 1``; the DP engine
+feeds a whole level's candidate partitions through
+:func:`expected_join_costs_batched` in one shot (the C7
+``O(b_M + b_|A| + b_|B|)`` bound, amortised across candidates).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..plans.properties import JoinMethod
 from .distributions import DiscreteDistribution
-from .floats import negligible_mass
+from .floats import MASS_EPS, negligible_mass
 
 __all__ = [
     "expected_join_cost_naive",
+    "expected_join_cost_naive_model",
     "expected_sort_merge_cost",
     "expected_nested_loop_cost",
     "expected_grace_hash_cost",
     "expected_join_cost_fast",
+    "expected_join_costs_batched",
     "expected_external_sort_cost",
+    "expected_external_sort_cost_model",
     "FAST_METHODS",
 ]
 
@@ -41,6 +59,11 @@ __all__ = [
 FAST_METHODS = frozenset(
     (JoinMethod.SORT_MERGE, JoinMethod.NESTED_LOOP, JoinMethod.GRACE_HASH)
 )
+
+#: One fast-path request: (method, left pages dist, right pages dist).
+BatchRequest = Tuple[
+    JoinMethod, DiscreteDistribution, DiscreteDistribution
+]
 
 
 def expected_join_cost_naive(
@@ -64,6 +87,32 @@ def expected_join_cost_naive(
     return total
 
 
+def expected_join_cost_naive_model(
+    cost_model,
+    method: JoinMethod,
+    left: DiscreteDistribution,
+    right: DiscreteDistribution,
+    memory: DiscreteDistribution,
+) -> float:
+    """Vectorized :func:`expected_join_cost_naive` over a cost model.
+
+    Enumerates the same ``b_L·b_R·b_R`` grid in the same (l, r, m) order
+    and accumulates sequentially (``np.add.reduceat``), so the value and
+    the model's ``eval_count`` accounting are identical to the scalar
+    loop over ``cost_model.join_cost`` — just computed as one array op.
+    """
+    lv, lp = left.values, left.probs
+    rv, rp = right.values, right.probs
+    mv, mp = memory.values, memory.probs
+    shape = (lv.size, rv.size, mv.size)
+    grid_l = np.broadcast_to(lv[:, None, None], shape).ravel()
+    grid_r = np.broadcast_to(rv[None, :, None], shape).ravel()
+    grid_m = np.broadcast_to(mv[None, None, :], shape).ravel()
+    costs = cost_model.join_cost_many(method, grid_l, grid_r, grid_m)
+    probs = ((lp[:, None] * rp[None, :])[:, :, None] * mp[None, None, :]).ravel()
+    return float(np.cumsum(probs * costs)[-1])
+
+
 # ----------------------------------------------------------------------
 # Shared machinery: survival-function lookups and prefix tables
 # ----------------------------------------------------------------------
@@ -73,18 +122,18 @@ class _SurvivalTable:
     """O(b_M) preprocessing for O(log b_M) ``Pr(M > x)`` / ``Pr(M >= x)``.
 
     The paper amortises this table across all dag nodes; callers can build
-    it once per memory distribution and reuse it.
+    it once per memory distribution and reuse it.  The suffix sums
+    themselves are cached on the memory distribution instance
+    (:meth:`~repro.core.distributions.DiscreteDistribution.sf_arrays`),
+    so building a second table over the same distribution is free.
     """
 
     __slots__ = ("values", "tail_excl", "tail_incl")
 
     def __init__(self, memory: DiscreteDistribution):
         self.values = memory.values
-        probs = memory.probs
         # tail_incl[i] = Pr(M >= values[i]); tail_excl[i] = Pr(M > values[i]).
-        suffix = np.concatenate([np.cumsum(probs[::-1])[::-1], [0.0]])
-        self.tail_incl = suffix[:-1]
-        self.tail_excl = suffix[1:]
+        self.tail_incl, self.tail_excl = memory.sf_arrays()
 
     def prob_gt(self, x: float) -> float:
         """``Pr(M > x)``."""
@@ -100,28 +149,265 @@ class _SurvivalTable:
             return 0.0
         return float(self.tail_incl[idx])
 
+    def prob_gt_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`prob_gt` over an array of thresholds."""
+        idx = np.searchsorted(self.values, xs, side="right")
+        safe = np.minimum(idx, self.values.size - 1)
+        return np.where(idx >= self.values.size, 0.0, self.tail_incl[safe])
 
-def _prefix_tables(dist: DiscreteDistribution):
-    """Return (values, pmf, cdf, weighted prefix E[X; X<=v]) arrays."""
-    vals = dist.values
-    pmf = dist.probs
-    cdf = np.cumsum(pmf)
-    wpre = np.cumsum(vals * pmf)
-    return vals, pmf, cdf, wpre
+    def prob_ge_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`prob_ge` over an array of thresholds."""
+        idx = np.searchsorted(self.values, xs, side="left")
+        safe = np.minimum(idx, self.values.size - 1)
+        return np.where(idx >= self.values.size, 0.0, self.tail_incl[safe])
 
 
-def _le_stats(vals, cdf, wpre, x: float, strict: bool = False):
-    """(Pr(X<=x), E[X; X<=x]) — or strict '<' variants."""
-    side = "left" if strict else "right"
-    idx = int(np.searchsorted(vals, x, side=side))
-    if idx == 0:
-        return 0.0, 0.0
-    return float(cdf[idx - 1]), float(wpre[idx - 1])
+class _PaddedBatch:
+    """A batch of distributions padded into rectangular arrays.
+
+    ``values``/``pmf``/``cdf``/``wpre`` are (n, width) with rows padded by
+    exact zeros past each distribution's ``counts[i]`` buckets; ``valid``
+    masks the live entries.  Padding with zero *mass* means every kernel
+    contribution computed at a padded slot multiplies to exactly 0.0, so
+    sequential row reductions are unaffected by the batch width.
+    """
+
+    __slots__ = ("values", "pmf", "cdf", "wpre", "valid", "counts", "width")
+
+    def __init__(self, dists: Sequence[DiscreteDistribution]):
+        counts = np.array([d.n_buckets for d in dists], dtype=np.intp)
+        width = int(counts.max())
+        n = len(dists)
+        values = np.zeros((n, width))
+        pmf = np.zeros((n, width))
+        cdf = np.zeros((n, width))
+        wpre = np.zeros((n, width))
+        for i, d in enumerate(dists):
+            b = counts[i]
+            values[i, :b] = d.values
+            pmf[i, :b] = d.probs
+            cdf[i, :b] = d.cdf_array
+            wpre[i, :b] = d.weighted_prefix_array
+        self.values = values
+        self.pmf = pmf
+        self.cdf = cdf
+        self.wpre = wpre
+        self.valid = np.arange(width) < counts[:, None]
+        self.counts = counts
+        self.width = width
+
+    def totals(self) -> np.ndarray:
+        """Per-row ``(Pr(X <= max), E[X])`` terminal prefix values."""
+        last = (self.counts - 1)[:, None]
+        return np.take_along_axis(self.wpre, last, axis=1)
+
+
+def _rank(small: _PaddedBatch, queries: np.ndarray, include_equal: bool) -> np.ndarray:
+    """Per (row, query) count of live small-side values <=/ < the query.
+
+    Equivalent to a per-row ``searchsorted`` (the supports are sorted),
+    computed as a masked comparison count so one call ranks every query
+    of every pair at once.
+    """
+    if include_equal:
+        cmp = small.values[:, None, :] <= queries[:, :, None]
+    else:
+        cmp = small.values[:, None, :] < queries[:, :, None]
+    cmp &= small.valid[:, None, :]
+    return cmp.sum(axis=2)
+
+
+def _gather(prefix: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """``prefix[idx - 1]`` per row, exact 0.0 where ``idx == 0``."""
+    safe = np.maximum(idx - 1, 0)
+    out = np.take_along_axis(prefix, safe, axis=1)
+    return np.where(idx > 0, out, 0.0)
+
+
+def _row_sums(contrib: np.ndarray) -> np.ndarray:
+    """Strictly sequential per-row sums (bit-stable under padding).
+
+    ``np.cumsum`` accumulates left-to-right one element at a time, and
+    adding an exact 0.0 never changes a float, so interleaving padding
+    zeros anywhere in a row leaves the row total bit-identical to the
+    scalar running sum over just the live entries.  (``np.sum`` and
+    ``np.add.reduceat`` are pairwise and do NOT have this property.)
+    """
+    return np.cumsum(contrib, axis=1)[:, -1]
 
 
 # ----------------------------------------------------------------------
 # Sort-merge (Section 3.6.1)
 # ----------------------------------------------------------------------
+
+
+def _sm_half_contribs(
+    small: _PaddedBatch,
+    large: _PaddedBatch,
+    st: _SurvivalTable,
+    include_equal: bool,
+) -> np.ndarray:
+    """Per-(pair, large-bucket) terms of ``E[Φ_SM ; small <(=) large]``.
+
+    Integrating memory out of the 2/4/6-pass formula gives the per-pair
+    multiplier ``6 - 2·Pr(M > sqrt(min)) - 2·Pr(M > sqrt(max))``; the
+    remaining double sum collapses into prefix sums over the smaller
+    side's distribution.
+    """
+    p_sqrt = st.prob_gt_many(np.sqrt(small.values))
+    pref_p = np.cumsum(small.pmf * p_sqrt, axis=1)  # Σ Pr(l)·P(sqrt(l))
+    pref_lp = np.cumsum(small.values * small.pmf * p_sqrt, axis=1)
+    idx = _rank(small, large.values, include_equal)
+    prob_le = _gather(small.cdf, idx)
+    exp_le = _gather(small.wpre, idx)
+    sum_p = _gather(pref_p, idx)
+    sum_lp = _gather(pref_lp, idx)
+    p_big = st.prob_gt_many(np.sqrt(large.values))
+    base = (6.0 - 2.0 * p_big) * (exp_le + large.values * prob_le)
+    correction = -2.0 * (sum_lp + large.values * sum_p)
+    contrib = large.pmf * (base + correction)
+    return np.where(large.valid & (idx > 0), contrib, 0.0)
+
+
+def _sm_totals(
+    lefts: _PaddedBatch, rights: _PaddedBatch, st: _SurvivalTable
+) -> np.ndarray:
+    return _row_sums(_sm_half_contribs(lefts, rights, st, True)) + _row_sums(
+        _sm_half_contribs(rights, lefts, st, False)
+    )
+
+
+# ----------------------------------------------------------------------
+# Nested loop (Section 3.6.2)
+# ----------------------------------------------------------------------
+
+
+def _nl_totals(
+    outers: _PaddedBatch, inners: _PaddedBatch, st: _SurvivalTable
+) -> np.ndarray:
+    """``E[Φ_NL(A, B, M)]`` per pair.
+
+    With ``s = min(a, b)``, the memory integral gives
+    ``(a+b)·Pr(M >= s+2) + a(1+b)·Pr(M < s+2)``; conditioning on which
+    side is smaller makes ``Pr(M >= s+2)`` a function of one variable,
+    and the other side enters only via suffix sums (the paper's ``G_a``).
+    Both conditioned branches of each pair land in one concatenated
+    segment so the sequential sum follows the scalar accumulation order.
+    """
+    a_total_e = outers.totals()
+    b_total_e = inners.totals()
+
+    # Branch 1: A <= B (s = a).  Suffix stats of B at each a (non-strict).
+    idx1 = _rank(inners, outers.values, include_equal=False)
+    g_cdf = np.take_along_axis(inners.cdf, np.maximum(idx1 - 1, 0), axis=1)
+    g_wpre = np.take_along_axis(inners.wpre, np.maximum(idx1 - 1, 0), axis=1)
+    prob_ge = np.where(idx1 > 0, 1.0 - g_cdf, 1.0)
+    exp_ge = np.where(idx1 > 0, b_total_e - g_wpre, b_total_e)
+    p_fit = st.prob_ge_many(outers.values + 2.0)
+    a = outers.values
+    fit_term = p_fit * (a * prob_ge + exp_ge)
+    nofit_term = (1.0 - p_fit) * (a * prob_ge + a * exp_ge)
+    c1 = outers.pmf * (fit_term + nofit_term)
+    # Suffix-sum cancellation can leave a true zero at ±1e-17; the same
+    # negligible-mass guard as the scalar path zeroes those terms.
+    c1 = np.where(outers.valid & (prob_ge > MASS_EPS), c1, 0.0)
+
+    # Branch 2: A > B (s = b).  Suffix stats of A at each b (strict).
+    idx2 = _rank(outers, inners.values, include_equal=True)
+    g_cdf2 = np.take_along_axis(outers.cdf, np.maximum(idx2 - 1, 0), axis=1)
+    g_wpre2 = np.take_along_axis(outers.wpre, np.maximum(idx2 - 1, 0), axis=1)
+    prob_gt = np.where(idx2 > 0, 1.0 - g_cdf2, 1.0)
+    exp_gt = np.where(idx2 > 0, a_total_e - g_wpre2, a_total_e)
+    p_fit2 = st.prob_ge_many(inners.values + 2.0)
+    b = inners.values
+    fit_term2 = p_fit2 * (exp_gt + b * prob_gt)
+    nofit_term2 = (1.0 - p_fit2) * (exp_gt * (1.0 + b))
+    c2 = inners.pmf * (fit_term2 + nofit_term2)
+    c2 = np.where(inners.valid & (prob_gt > MASS_EPS), c2, 0.0)
+
+    return _row_sums(np.concatenate([c1, c2], axis=1))
+
+
+# ----------------------------------------------------------------------
+# Grace hash (extension of the paper's technique)
+# ----------------------------------------------------------------------
+
+
+def _gh_half_contribs(
+    small: _PaddedBatch,
+    large: _PaddedBatch,
+    st: _SurvivalTable,
+    include_equal: bool,
+) -> np.ndarray:
+    """Per-(pair, large-bucket) terms of the conditioned Grace-hash half.
+
+    The 1/2/4-pass multiplier depends on memory only through the smaller
+    input ``s``:  ``Pr(M >= s+2) + 2·(Pr(M >= sqrt(s)) - Pr(M >= s+2)) +
+    4·Pr(M < sqrt(s))``, so the same conditioning trick as sort-merge
+    applies.
+    """
+    p_two = st.prob_ge_many(small.values + 2.0)
+    p_sqrt = st.prob_ge_many(np.sqrt(small.values))
+    mult = p_two + 2.0 * (p_sqrt - p_two) + 4.0 * (1.0 - p_sqrt)
+    pref_m = np.cumsum(small.pmf * mult, axis=1)
+    pref_lm = np.cumsum(small.values * small.pmf * mult, axis=1)
+    idx = _rank(small, large.values, include_equal)
+    contrib = large.pmf * (
+        _gather(pref_lm, idx) + large.values * _gather(pref_m, idx)
+    )
+    return np.where(large.valid & (idx > 0), contrib, 0.0)
+
+
+def _gh_totals(
+    lefts: _PaddedBatch, rights: _PaddedBatch, st: _SurvivalTable
+) -> np.ndarray:
+    return _row_sums(_gh_half_contribs(lefts, rights, st, True)) + _row_sums(
+        _gh_half_contribs(rights, lefts, st, False)
+    )
+
+
+_METHOD_TOTALS = {
+    JoinMethod.SORT_MERGE: _sm_totals,
+    JoinMethod.NESTED_LOOP: _nl_totals,
+    JoinMethod.GRACE_HASH: _gh_totals,
+}
+
+
+# ----------------------------------------------------------------------
+# Batched evaluation and single-pair wrappers
+# ----------------------------------------------------------------------
+
+
+def expected_join_costs_batched(
+    requests: Sequence[BatchRequest],
+    memory: DiscreteDistribution,
+    survival: Optional[_SurvivalTable] = None,
+) -> np.ndarray:
+    """One-shot ``E[Φ]`` for a batch of fast-path join requests.
+
+    ``requests`` is a sequence of ``(method, left, right)`` triples; the
+    result array is aligned with it.  Requests sharing a method are
+    evaluated by one padded array kernel over shared survival prefix
+    sums, and each entry is bit-identical to the corresponding
+    single-pair ``expected_*_cost`` call (which itself routes through
+    this kernel with a batch of one).
+
+    Raises ``ValueError`` for methods outside :data:`FAST_METHODS`.
+    """
+    st = survival if survival is not None else _SurvivalTable(memory)
+    out = np.empty(len(requests), dtype=float)
+    by_method: dict = {}
+    for i, (method, left, right) in enumerate(requests):
+        by_method.setdefault(method, []).append((i, left, right))
+    for method, group in by_method.items():
+        kernel = _METHOD_TOTALS.get(method)
+        if kernel is None:
+            raise ValueError(f"no fast expected-cost path for {method}")
+        lefts = _PaddedBatch([left for _, left, _ in group])
+        rights = _PaddedBatch([right for _, _, right in group])
+        totals = kernel(lefts, rights, st)
+        out[[i for i, _, _ in group]] = totals
+    return out
 
 
 def expected_sort_merge_cost(
@@ -130,55 +416,9 @@ def expected_sort_merge_cost(
     memory: DiscreteDistribution,
     survival: Optional[_SurvivalTable] = None,
 ) -> float:
-    """``E[Φ_SM(L, R, M)]`` in near-linear time.
-
-    Integrating memory out of the 2/4/6-pass formula gives the per-pair
-    multiplier ``6 - 2·Pr(M > sqrt(min)) - 2·Pr(M > sqrt(max))``; the
-    remaining double sum collapses into prefix sums over the smaller
-    side's distribution.
-    """
+    """``E[Φ_SM(L, R, M)]`` in near-linear time."""
     st = survival if survival is not None else _SurvivalTable(memory)
-    return _sm_half(left, right, st, include_equal=True) + _sm_half(
-        right, left, st, include_equal=False
-    )
-
-
-def _sm_half(
-    small: DiscreteDistribution,
-    large: DiscreteDistribution,
-    st: _SurvivalTable,
-    include_equal: bool,
-) -> float:
-    """``E[Φ_SM ; small <(=) large]`` with ``small`` the conditioned-min side."""
-    s_vals, s_pmf, s_cdf, s_wpre = _prefix_tables(small)
-    # Per-support-point survival at sqrt(value), plus the weighted variants
-    # needed to fold  -2·P(sqrt(l))  into the prefix sums.
-    p_sqrt = np.fromiter(
-        (st.prob_gt(math.sqrt(v)) for v in s_vals), dtype=float, count=s_vals.size
-    )
-    pref_p = np.cumsum(s_pmf * p_sqrt)  # Σ Pr(l)·P(sqrt(l))
-    pref_lp = np.cumsum(s_vals * s_pmf * p_sqrt)  # Σ l·Pr(l)·P(sqrt(l))
-
-    total = 0.0
-    for r, pr in large.items():
-        side = "right" if include_equal else "left"
-        idx = int(np.searchsorted(s_vals, r, side=side))
-        if idx == 0:
-            continue
-        prob_le = float(s_cdf[idx - 1])
-        exp_le = float(s_wpre[idx - 1])
-        sum_p = float(pref_p[idx - 1])
-        sum_lp = float(pref_lp[idx - 1])
-        p_big = st.prob_gt(math.sqrt(r))
-        base = (6.0 - 2.0 * p_big) * (exp_le + r * prob_le)
-        correction = -2.0 * (sum_lp + r * sum_p)
-        total += pr * (base + correction)
-    return total
-
-
-# ----------------------------------------------------------------------
-# Nested loop (Section 3.6.2)
-# ----------------------------------------------------------------------
+    return float(_sm_totals(_PaddedBatch([left]), _PaddedBatch([right]), st)[0])
 
 
 def expected_nested_loop_cost(
@@ -187,57 +427,9 @@ def expected_nested_loop_cost(
     memory: DiscreteDistribution,
     survival: Optional[_SurvivalTable] = None,
 ) -> float:
-    """``E[Φ_NL(A, B, M)]`` in near-linear time.
-
-    With ``s = min(a, b)``, the memory integral gives
-    ``(a+b)·Pr(M >= s+2) + a(1+b)·Pr(M < s+2)``; conditioning on which
-    side is smaller makes ``Pr(M >= s+2)`` a function of one variable,
-    and the other side enters only via suffix sums (the paper's ``G_a``).
-    """
+    """``E[Φ_NL(A, B, M)]`` in near-linear time."""
     st = survival if survival is not None else _SurvivalTable(memory)
-    a_vals, a_pmf, a_cdf, a_wpre = _prefix_tables(outer)
-    b_vals, b_pmf, b_cdf, b_wpre = _prefix_tables(inner)
-    a_total_e = float(a_wpre[-1])
-    b_total_e = float(b_wpre[-1])
-
-    total = 0.0
-    # Branch 1: A <= B (s = a).  Suffix stats of B at each a.
-    for a, pa in outer.items():
-        prob_ge, exp_ge = _ge_stats(b_vals, b_cdf, b_wpre, b_total_e, a, strict=False)
-        if negligible_mass(prob_ge):
-            # Suffix-sum cancellation can leave a true zero at ±1e-17;
-            # an exact == 0.0 guard would keep such noise in the sum.
-            continue
-        p_fit = st.prob_ge(a + 2.0)
-        fit_term = p_fit * (a * prob_ge + exp_ge)
-        nofit_term = (1.0 - p_fit) * (a * prob_ge + a * exp_ge)
-        total += pa * (fit_term + nofit_term)
-    # Branch 2: A > B (s = b).  Suffix stats of A at each b (strict).
-    for b, pb in inner.items():
-        prob_gt, exp_gt = _ge_stats(a_vals, a_cdf, a_wpre, a_total_e, b, strict=True)
-        if negligible_mass(prob_gt):
-            continue
-        p_fit = st.prob_ge(b + 2.0)
-        fit_term = p_fit * (exp_gt + b * prob_gt)
-        nofit_term = (1.0 - p_fit) * (exp_gt * (1.0 + b))
-        total += pb * (fit_term + nofit_term)
-    return total
-
-
-def _ge_stats(vals, cdf, wpre, total_e, x: float, strict: bool):
-    """(Pr(X >= x), E[X; X >= x]) — or strict '>' variants."""
-    side = "right" if strict else "left"
-    idx = int(np.searchsorted(vals, x, side=side))
-    if idx == 0:
-        return 1.0, total_e
-    prob = 1.0 - float(cdf[idx - 1])
-    exp = total_e - float(wpre[idx - 1])
-    return prob, exp
-
-
-# ----------------------------------------------------------------------
-# Grace hash (extension of the paper's technique)
-# ----------------------------------------------------------------------
+    return float(_nl_totals(_PaddedBatch([outer]), _PaddedBatch([inner]), st)[0])
 
 
 def expected_grace_hash_cost(
@@ -246,51 +438,9 @@ def expected_grace_hash_cost(
     memory: DiscreteDistribution,
     survival: Optional[_SurvivalTable] = None,
 ) -> float:
-    """``E[Φ_GH(L, R, M)]`` in near-linear time.
-
-    The 1/2/4-pass multiplier depends on memory only through the smaller
-    input ``s``:  ``Pr(M >= s+2) + 2·(Pr(M >= sqrt(s)) - Pr(M >= s+2)) +
-    4·Pr(M < sqrt(s))``, so the same conditioning trick as sort-merge
-    applies.
-    """
+    """``E[Φ_GH(L, R, M)]`` in near-linear time."""
     st = survival if survival is not None else _SurvivalTable(memory)
-    return _gh_half(left, right, st, include_equal=True) + _gh_half(
-        right, left, st, include_equal=False
-    )
-
-
-def _gh_half(
-    small: DiscreteDistribution,
-    large: DiscreteDistribution,
-    st: _SurvivalTable,
-    include_equal: bool,
-) -> float:
-    s_vals, s_pmf, s_cdf, s_wpre = _prefix_tables(small)
-    mult = np.fromiter(
-        (
-            st.prob_ge(v + 2.0)
-            + 2.0 * (st.prob_ge(math.sqrt(v)) - st.prob_ge(v + 2.0))
-            + 4.0 * (1.0 - st.prob_ge(math.sqrt(v)))
-            for v in s_vals
-        ),
-        dtype=float,
-        count=s_vals.size,
-    )
-    pref_m = np.cumsum(s_pmf * mult)
-    pref_lm = np.cumsum(s_vals * s_pmf * mult)
-    total = 0.0
-    for r, pr in large.items():
-        side = "right" if include_equal else "left"
-        idx = int(np.searchsorted(s_vals, r, side=side))
-        if idx == 0:
-            continue
-        total += pr * (float(pref_lm[idx - 1]) + r * float(pref_m[idx - 1]))
-    return total
-
-
-# ----------------------------------------------------------------------
-# Dispatch and sorts
-# ----------------------------------------------------------------------
+    return float(_gh_totals(_PaddedBatch([left]), _PaddedBatch([right]), st)[0])
 
 
 def expected_join_cost_fast(
@@ -305,13 +455,9 @@ def expected_join_cost_fast(
     Raises ``ValueError`` for methods without a fast path (use
     :func:`expected_join_cost_naive` for those).
     """
-    if method is JoinMethod.SORT_MERGE:
-        return expected_sort_merge_cost(left, right, memory, survival)
-    if method is JoinMethod.NESTED_LOOP:
-        return expected_nested_loop_cost(left, right, memory, survival)
-    if method is JoinMethod.GRACE_HASH:
-        return expected_grace_hash_cost(left, right, memory, survival)
-    raise ValueError(f"no fast expected-cost path for {method}")
+    return float(
+        expected_join_costs_batched([(method, left, right)], memory, survival)[0]
+    )
 
 
 def expected_external_sort_cost(
@@ -325,3 +471,24 @@ def expected_external_sort_cost(
         for m, pm in memory.items():
             total += pp * pm * sort_fn(p, m)
     return total
+
+
+def expected_external_sort_cost_model(
+    cost_model,
+    pages: DiscreteDistribution,
+    memory: DiscreteDistribution,
+) -> float:
+    """Vectorized :func:`expected_external_sort_cost` over a cost model.
+
+    Same (p, m) enumeration order and sequential accumulation as the
+    scalar loop over ``cost_model.sort_cost`` — identical value and
+    ``eval_count`` accounting, one array op.
+    """
+    pv, pp = pages.values, pages.probs
+    mv, mp = memory.values, memory.probs
+    shape = (pv.size, mv.size)
+    grid_p = np.broadcast_to(pv[:, None], shape).ravel()
+    grid_m = np.broadcast_to(mv[None, :], shape).ravel()
+    costs = cost_model.sort_cost_many(grid_p, grid_m)
+    probs = (pp[:, None] * mp[None, :]).ravel()
+    return float(np.cumsum(probs * costs)[-1])

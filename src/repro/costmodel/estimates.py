@@ -24,7 +24,6 @@ from typing import Tuple
 
 from ..core.distributions import (
     DiscreteDistribution,
-    independent_product,
     point_mass,
 )
 from ..plans.nodes import Plan, PlanNode, Project
@@ -58,7 +57,7 @@ class _PlainDistributionOps:
 
     @staticmethod
     def product(a: DiscreteDistribution, b: DiscreteDistribution) -> DiscreteDistribution:
-        return independent_product(lambda x, y: x * y, a, b)
+        return a.multiply(b)
 
     @staticmethod
     def rebucket(

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import List
 
+import numpy as np
+
 from ..plans.properties import AccessPath, JoinMethod
 
 __all__ = [
@@ -36,8 +38,11 @@ __all__ = [
     "grace_hash_cost",
     "hybrid_hash_cost",
     "join_cost",
+    "join_cost_vec",
     "join_breakpoints",
     "external_sort_cost",
+    "external_sort_cost_vec",
+    "sort_merge_cost_with_orders_vec",
     "sort_breakpoints",
     "scan_cost",
     "MIN_MEMORY_PAGES",
@@ -190,12 +195,150 @@ def hybrid_hash_breakpoints(outer: float, inner: float) -> List[float]:
     return sorted({math.sqrt(smaller), smaller + 2.0})
 
 
+# ----------------------------------------------------------------------
+# Vectorized variants
+# ----------------------------------------------------------------------
+#
+# Array counterparts of the scalar formulas above, used by the batched
+# expected-cost paths.  Each ``*_vec`` reproduces its scalar twin's
+# arithmetic *operation for operation* (same multiply/add order, same
+# ``sqrt``/comparison structure, branches as ``np.where`` masks), so an
+# element of a vectorized grid is bit-identical to the scalar call on the
+# same inputs.  Keep them in lockstep with the scalar versions.
+
+
+def _check_vec(outer: np.ndarray, inner: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    if np.any(outer < 0) or np.any(inner < 0):
+        raise ValueError("relation sizes must be non-negative")
+    if np.any(memory <= 0):
+        raise ValueError("memory must be positive")
+    return np.maximum(memory, MIN_MEMORY_PAGES)
+
+
+def nested_loop_cost_vec(
+    outer: np.ndarray, inner: np.ndarray, memory: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`nested_loop_cost`."""
+    memory = _check_vec(outer, inner, memory)
+    smaller = np.minimum(outer, inner)
+    return np.where(memory >= smaller + 2, outer + inner, outer + outer * inner)
+
+
+def block_nested_loop_cost_vec(
+    outer: np.ndarray, inner: np.ndarray, memory: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`block_nested_loop_cost`."""
+    memory = _check_vec(outer, inner, memory)
+    block = np.maximum(1.0, memory - 2.0)
+    n_blocks = np.where(outer > 0, np.ceil(outer / block), 0.0)
+    return outer + n_blocks * inner
+
+
+def sort_merge_cost_with_orders_vec(
+    outer: np.ndarray,
+    inner: np.ndarray,
+    memory: np.ndarray,
+    outer_presorted: bool,
+    inner_presorted: bool,
+) -> np.ndarray:
+    """Vectorized :func:`sort_merge_cost_with_orders`."""
+    memory = _check_vec(outer, inner, memory)
+    larger = np.maximum(outer, inner)
+    smaller = np.minimum(outer, inner)
+    k = np.where(
+        memory > np.sqrt(larger),
+        2.0,
+        np.where(memory > np.sqrt(smaller), 4.0, 6.0),
+    )
+    outer_mult = 1.0 if outer_presorted else k
+    inner_mult = 1.0 if inner_presorted else k
+    return outer_mult * outer + inner_mult * inner
+
+
+def sort_merge_cost_vec(
+    outer: np.ndarray, inner: np.ndarray, memory: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`sort_merge_cost`."""
+    return sort_merge_cost_with_orders_vec(outer, inner, memory, False, False)
+
+
+def grace_hash_cost_vec(
+    outer: np.ndarray, inner: np.ndarray, memory: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`grace_hash_cost`."""
+    memory = _check_vec(outer, inner, memory)
+    total = outer + inner
+    smaller = np.minimum(outer, inner)
+    return np.where(
+        memory >= smaller + 2,
+        total,
+        np.where(memory >= np.sqrt(smaller), 2.0 * total, 4.0 * total),
+    )
+
+
+def hybrid_hash_cost_vec(
+    outer: np.ndarray, inner: np.ndarray, memory: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`hybrid_hash_cost`."""
+    memory = _check_vec(outer, inner, memory)
+    total = outer + inner
+    smaller = np.minimum(outer, inner)
+    resident_fraction = np.minimum(1.0, memory / (smaller + 2.0))
+    spilled = 1.0 - resident_fraction
+    partial = total + spilled * total
+    out = np.where(memory < np.sqrt(smaller), 4.0 * total, partial)
+    out = np.where(memory >= smaller + 2, total, out)
+    return np.where(smaller <= 0, total, out)
+
+
+def external_sort_cost_vec(pages: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`external_sort_cost`.
+
+    The merge-pass count ``ceil(log(n_runs, fan_in))`` is evaluated with
+    the scalar ``math.log`` per *unique* ``(n_runs, fan_in)`` pair: numpy's
+    vectorized log is not guaranteed bit-identical to libm's, and a 1-ulp
+    flip under the ceil at an integral ratio would change the pass count.
+    The unique pairs are few (small integers), so this stays cheap.
+    """
+    pages = np.asarray(pages, dtype=float)
+    memory = np.asarray(memory, dtype=float)
+    if np.any(pages < 0):
+        raise ValueError("pages must be non-negative")
+    if np.any(memory <= 0):
+        raise ValueError("memory must be positive")
+    memory = np.maximum(memory, MIN_MEMORY_PAGES)
+    pages_b, memory_b = np.broadcast_arrays(pages, memory)
+    n_runs = np.ceil(pages_b / memory_b)
+    fan_in = np.maximum(2.0, np.floor(memory_b) - 1.0)
+    merge_passes = np.zeros(pages_b.shape)
+    multi = n_runs > 1.0
+    if np.any(multi):
+        nr = n_runs[multi]
+        fi = fan_in[multi]
+        lut = {
+            (r, f): float(math.ceil(math.log(r, f)))
+            for r, f in {*zip(nr.tolist(), fi.tolist())}
+        }
+        merge_passes[multi] = [lut[pair] for pair in zip(nr.tolist(), fi.tolist())]
+    out = 2.0 * pages_b * (1.0 + merge_passes)
+    out = np.where(pages_b <= memory_b, pages_b, out)
+    return np.where(pages_b == 0, 0.0, out)
+
+
 _JOIN_COST = {
     JoinMethod.NESTED_LOOP: nested_loop_cost,
     JoinMethod.BLOCK_NESTED_LOOP: block_nested_loop_cost,
     JoinMethod.SORT_MERGE: sort_merge_cost,
     JoinMethod.GRACE_HASH: grace_hash_cost,
     JoinMethod.HYBRID_HASH: hybrid_hash_cost,
+}
+
+_JOIN_COST_VEC = {
+    JoinMethod.NESTED_LOOP: nested_loop_cost_vec,
+    JoinMethod.BLOCK_NESTED_LOOP: block_nested_loop_cost_vec,
+    JoinMethod.SORT_MERGE: sort_merge_cost_vec,
+    JoinMethod.GRACE_HASH: grace_hash_cost_vec,
+    JoinMethod.HYBRID_HASH: hybrid_hash_cost_vec,
 }
 
 _JOIN_BREAKPOINTS = {
@@ -212,6 +355,13 @@ def join_cost(
 ) -> float:
     """Dispatch to the cost formula for ``method``."""
     return _JOIN_COST[method](outer, inner, memory)
+
+
+def join_cost_vec(
+    method: JoinMethod, outer: np.ndarray, inner: np.ndarray, memory: np.ndarray
+) -> np.ndarray:
+    """Dispatch to the vectorized cost formula for ``method``."""
+    return _JOIN_COST_VEC[method](outer, inner, memory)
 
 
 def join_breakpoints(method: JoinMethod, outer: float, inner: float) -> List[float]:

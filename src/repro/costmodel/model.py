@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from ..core.distributions import DiscreteDistribution
 from ..core.markov import MarkovParameter
 from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
@@ -113,6 +115,52 @@ class CostModel:
         if self._count:
             self.eval_count += 1
         return formulas.external_sort_cost(pages, memory)
+
+    # ------------------------------------------------------------------
+    # Batched primitive costs
+    # ------------------------------------------------------------------
+    #
+    # Array counterparts of the primitives above.  Each element of the
+    # result is bit-identical to the corresponding scalar call, and
+    # ``eval_count`` advances by the number of grid points — one per
+    # formula evaluation, exactly as if the scalar method had been called
+    # in a loop — so the E4/E7 overhead accounting is unchanged.
+
+    def join_cost_many(
+        self,
+        method: JoinMethod,
+        outer: np.ndarray,
+        inner: np.ndarray,
+        memory: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`join_cost` over aligned parameter arrays."""
+        out = formulas.join_cost_vec(method, outer, inner, memory)
+        if self._count:
+            self.eval_count += out.size
+        return out
+
+    def sort_merge_cost_ordered_many(
+        self,
+        outer: np.ndarray,
+        inner: np.ndarray,
+        memory: np.ndarray,
+        outer_presorted: bool,
+        inner_presorted: bool,
+    ) -> np.ndarray:
+        """Vectorized :meth:`sort_merge_cost_ordered`."""
+        out = formulas.sort_merge_cost_with_orders_vec(
+            outer, inner, memory, outer_presorted, inner_presorted
+        )
+        if self._count:
+            self.eval_count += out.size
+        return out
+
+    def sort_cost_many(self, pages: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sort_cost`."""
+        out = formulas.external_sort_cost_vec(pages, memory)
+        if self._count:
+            self.eval_count += out.size
+        return out
 
     def scan_node_cost(self, scan: Scan, query: JoinQuery) -> float:
         """Memory-independent cost of a scan leaf (full or index scan)."""

@@ -37,15 +37,17 @@ context builds a private one, which reproduces the historical
 from __future__ import annotations
 
 import abc
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.context import OptimizationContext
 from ..core.distributions import DiscreteDistribution
 from ..core.expected_cost import (
     FAST_METHODS,
-    expected_external_sort_cost,
-    expected_join_cost_fast,
+    expected_external_sort_cost_model,
     expected_join_cost_naive,
+    expected_join_cost_naive_model,
 )
 from ..core.markov import MarkovParameter
 from ..costmodel.estimates import project_pages
@@ -53,6 +55,10 @@ from ..costmodel.model import CostModel
 from ..plans.nodes import Scan
 from ..plans.properties import JoinMethod
 from ..plans.query import JoinQuery
+
+#: One join step the DP is about to cost: ``(method, left_rels,
+#: right_rels, phase, left_presorted, right_presorted)``.
+StepRequest = Tuple[JoinMethod, FrozenSet[str], FrozenSet[str], int, bool, bool]
 
 __all__ = [
     "Coster",
@@ -152,6 +158,39 @@ class Coster(abc.ABC):
             )
         return self.cost_model.join_cost(method, left_pages, right_pages, memory)
 
+    def prefetch_join_steps(self, requests: Sequence[StepRequest]) -> None:
+        """Batch-evaluate a DP level's join steps into the context memo.
+
+        The engine calls this once per DP level with every join step the
+        level's subsets will cost; implementations may evaluate the
+        not-yet-memoized ones in a single vectorized pass so subsequent
+        :meth:`join_step_cost` calls are memo hits.  The contract is
+        strict: a prefetched value must be **bit-identical** to what the
+        on-demand path would have computed, and ``eval_count`` accounting
+        must match one scalar evaluation per grid point.  The base
+        implementation is a no-op (everything computes on demand).
+        """
+
+    def _join_step_key(
+        self,
+        method: JoinMethod,
+        left_rels: FrozenSet[str],
+        right_rels: FrozenSet[str],
+        phase: int,
+        left_presorted: bool,
+        right_presorted: bool,
+    ) -> tuple:
+        """The context memo key :meth:`join_step_cost` files a step under.
+
+        Must agree between the on-demand path and :meth:`
+        prefetch_join_steps` so prefetched values are found.  Phase is
+        ignored by default; phase-indexed objectives fold it in.
+        """
+        return (
+            *self._memo_key(), "join",
+            method, left_rels, right_rels, left_presorted, right_presorted,
+        )
+
     @abc.abstractmethod
     def write_cost(self, rels: FrozenSet[str]) -> float:
         """Objective value of materialising the subset's result pages."""
@@ -220,6 +259,73 @@ class Coster(abc.ABC):
         )
 
 
+def _pending_steps(context, coster, requests):
+    """Deduped ``(memo_key, request)`` pairs for not-yet-memoized steps."""
+    seen = set()
+    out = []
+    for req in requests:
+        key = coster._join_step_key(req[0], req[1], req[2], req[3], req[4], req[5])
+        if key in seen or context.has_step_cost(key):
+            continue
+        seen.add(key)
+        out.append((key, req))
+    return out
+
+
+def _pending_by_formula(context, coster, requests):
+    """Pending steps grouped by ``(method, left_presorted, right_presorted)``.
+
+    Steps in one group evaluate the same formula, so they can share one
+    vectorized grid.
+    """
+    groups = {}
+    for key, req in _pending_steps(context, coster, requests):
+        groups.setdefault((req[0], req[4], req[5]), []).append((key, req))
+    return groups
+
+
+def _store_steps(context, keys, costs) -> None:
+    """File batch-computed step costs under their memo keys.
+
+    Routed through :meth:`OptimizationContext.step_cost` so each stored
+    step counts as one miss — exactly what on-demand first evaluation
+    would have recorded.
+    """
+    for key, cost in zip(keys, costs):
+        context.step_cost(key, lambda _c=cost: float(_c))
+
+
+def _expected_join_rows(
+    cost_model: CostModel,
+    method: JoinMethod,
+    left_pages: np.ndarray,
+    right_pages: np.ndarray,
+    memory: DiscreteDistribution,
+    left_presorted: bool,
+    right_presorted: bool,
+):
+    """``E_M[Φ]`` per (left, right) pair, one formula grid for all pairs.
+
+    Each pair's expectation is finished with the same ``np.dot`` against
+    the memory pmf that :meth:`DiscreteDistribution.expectation` uses, so
+    the results are bit-identical to the scalar
+    ``memory.expectation(lambda m: formula(...))`` path.
+    """
+    mv = memory.values
+    mp = memory.probs
+    shape = (left_pages.size, mv.size)
+    grid_l = np.broadcast_to(left_pages[:, None], shape).ravel()
+    grid_r = np.broadcast_to(right_pages[:, None], shape).ravel()
+    grid_m = np.broadcast_to(mv[None, :], shape).ravel()
+    if method is JoinMethod.SORT_MERGE and (left_presorted or right_presorted):
+        rows = cost_model.sort_merge_cost_ordered_many(
+            grid_l, grid_r, grid_m, left_presorted, right_presorted
+        )
+    else:
+        rows = cost_model.join_cost_many(method, grid_l, grid_r, grid_m)
+    return [float(np.dot(row, mp)) for row in rows.reshape(shape)]
+
+
 class PointCoster(Coster):
     """Φ at a single parameter setting — the LSC view.
 
@@ -240,9 +346,8 @@ class PointCoster(Coster):
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        key = (
-            *self._memo_key(), "join",
-            method, left_rels, right_rels, left_presorted, right_presorted,
+        key = self._join_step_key(
+            method, left_rels, right_rels, phase, left_presorted, right_presorted
         )
         return self._step(
             key,
@@ -255,6 +360,29 @@ class PointCoster(Coster):
                 right_presorted,
             ),
         )
+
+    def prefetch_join_steps(self, requests):
+        """One ``join_cost_many`` grid per method for the whole level.
+
+        The vectorized formulas are bit-identical to the scalar ones per
+        element, so the memoized values match what on-demand evaluation
+        would store; ``eval_count`` advances by one per step either way.
+        """
+        assert self.context is not None, "coster used before bind()"
+        for (method, lps, rps), group in _pending_by_formula(
+            self.context, self, requests
+        ).items():
+            keys = [key for key, _ in group]
+            lp = np.array([self._pages(req[1]) for _, req in group])
+            rp = np.array([self._pages(req[2]) for _, req in group])
+            mem = np.full(lp.size, self.memory)
+            if method is JoinMethod.SORT_MERGE and (lps or rps):
+                costs = self.cost_model.sort_merge_cost_ordered_many(
+                    lp, rp, mem, lps, rps
+                )
+            else:
+                costs = self.cost_model.join_cost_many(method, lp, rp, mem)
+            _store_steps(self.context, keys, costs)
 
     def write_cost(self, rels):
         return self._pages(rels)
@@ -287,9 +415,8 @@ class ExpectedCoster(Coster):
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        key = (
-            *self._memo_key(), "join",
-            method, left_rels, right_rels, left_presorted, right_presorted,
+        key = self._join_step_key(
+            method, left_rels, right_rels, phase, left_presorted, right_presorted
         )
 
         def compute() -> float:
@@ -302,6 +429,20 @@ class ExpectedCoster(Coster):
             )
 
         return self._step(key, compute)
+
+    def prefetch_join_steps(self, requests):
+        """One (steps × memory-buckets) formula grid per method."""
+        assert self.context is not None, "coster used before bind()"
+        for (method, lps, rps), group in _pending_by_formula(
+            self.context, self, requests
+        ).items():
+            keys = [key for key, _ in group]
+            lp = np.array([self._pages(req[1]) for _, req in group])
+            rp = np.array([self._pages(req[2]) for _, req in group])
+            costs = _expected_join_rows(
+                self.cost_model, method, lp, rp, self.memory, lps, rps
+            )
+            _store_steps(self.context, keys, costs)
 
     def write_cost(self, rels):
         return self._pages(rels)
@@ -352,13 +493,20 @@ class MarkovCoster(Coster):
         # so a context outliving the coster still resolves correctly.
         return ("markov", self.chain)
 
+    def _join_step_key(
+        self, method, left_rels, right_rels, phase, left_presorted, right_presorted
+    ):
+        return (
+            *self._memo_key(), "join", phase,
+            method, left_rels, right_rels, left_presorted, right_presorted,
+        )
+
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        key = (
-            *self._memo_key(), "join", phase,
-            method, left_rels, right_rels, left_presorted, right_presorted,
+        key = self._join_step_key(
+            method, left_rels, right_rels, phase, left_presorted, right_presorted
         )
 
         def compute() -> float:
@@ -372,6 +520,25 @@ class MarkovCoster(Coster):
             )
 
         return self._step(key, compute)
+
+    def prefetch_join_steps(self, requests):
+        """Like :class:`ExpectedCoster` but grouped by execution phase.
+
+        Each phase is costed under its own marginal distribution, so the
+        phase joins the grouping key alongside the formula identity.
+        """
+        assert self.context is not None, "coster used before bind()"
+        groups = {}
+        for key, req in _pending_steps(self.context, self, requests):
+            groups.setdefault((req[0], req[3], req[4], req[5]), []).append((key, req))
+        for (method, phase, lps, rps), group in groups.items():
+            keys = [key for key, _ in group]
+            lp = np.array([self._pages(req[1]) for _, req in group])
+            rp = np.array([self._pages(req[2]) for _, req in group])
+            costs = _expected_join_rows(
+                self.cost_model, method, lp, rp, self.chain.marginal(phase), lps, rps
+            )
+            _store_steps(self.context, keys, costs)
 
     def write_cost(self, rels):
         return self._pages(rels)
@@ -436,14 +603,21 @@ class MultiParamCoster(Coster):
         assert self.context is not None, "coster used before bind()"
         return self.context.size_distribution(rels, max_buckets=self.max_buckets)
 
+    def _join_step_key(
+        self, method, left_rels, right_rels, phase, left_presorted, right_presorted
+    ):
+        return (
+            *self._memo_key(), "join",
+            method, frozenset(left_rels), frozenset(right_rels),
+            left_presorted, right_presorted,
+        )
+
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        key = (
-            *self._memo_key(), "join",
-            method, frozenset(left_rels), frozenset(right_rels),
-            left_presorted, right_presorted,
+        key = self._join_step_key(
+            method, left_rels, right_rels, phase, left_presorted, right_presorted
         )
 
         def compute() -> float:
@@ -451,12 +625,15 @@ class MultiParamCoster(Coster):
             rd = self.size_distribution(right_rels)
             presorted = left_presorted or right_presorted
             if self.fast and method in FAST_METHODS and not presorted:
-                return expected_join_cost_fast(
-                    method, ld, rd, self.memory, survival=self._survival
-                )
+                # Routed through the context's batched kernel memo: two
+                # subsets with value-equal size distributions share one
+                # evaluation, and level prefetches land in the same memo.
+                return self.context.batched_join_costs(
+                    [(method, ld, rd)], self.memory
+                )[0]
             if not presorted:
-                return expected_join_cost_naive(
-                    self.cost_model.join_cost, method, ld, rd, self.memory
+                return expected_join_cost_naive_model(
+                    self.cost_model, method, ld, rd, self.memory
                 )
             # Order-aware sort-merge: no linear-time path; triple loop
             # with the presorted formula.
@@ -469,6 +646,33 @@ class MultiParamCoster(Coster):
 
         return self._step(key, compute)
 
+    def prefetch_join_steps(self, requests):
+        """Feed a whole DP level's fast-path joins to the batched kernel.
+
+        Only the linear-time methods batch (the naive triple-grid path is
+        already one array op per step); presorted sort-merge steps keep
+        their order-aware scalar route.  Values land in the context's
+        ``fastjoin`` memo, so the per-step ``join_step_cost`` calls that
+        follow find them without touching the kernel again.
+        """
+        if not self.fast:
+            return
+        assert self.context is not None, "coster used before bind()"
+        batch = []
+        for key, req in _pending_steps(self.context, self, requests):
+            method, left_rels, right_rels, _, lps, rps = req
+            if method not in FAST_METHODS or lps or rps:
+                continue
+            batch.append(
+                (
+                    method,
+                    self.size_distribution(left_rels),
+                    self.size_distribution(right_rels),
+                )
+            )
+        if batch:
+            self.context.batched_join_costs(batch, self.memory)
+
     def write_cost(self, rels):
         key = (*self._memo_key(), "write", frozenset(rels))
         return self._step(key, lambda: self.size_distribution(rels).mean())
@@ -477,8 +681,8 @@ class MultiParamCoster(Coster):
         key = (*self._memo_key(), "sort", frozenset(rels))
         return self._step(
             key,
-            lambda: expected_external_sort_cost(
-                self.size_distribution(rels), self.memory, self.cost_model.sort_cost
+            lambda: expected_external_sort_cost_model(
+                self.cost_model, self.size_distribution(rels), self.memory
             ),
         )
 
@@ -519,6 +723,6 @@ class MultiParamCoster(Coster):
                 self.context.convolve(acc, nxt), self.max_buckets
             )
         acc = acc.clip(lo=lo_sum * (1.0 - 1e-9), hi=hi_sum * (1.0 + 1e-9))
-        return total + expected_external_sort_cost(
-            acc, self.memory, self.cost_model.sort_cost
+        return total + expected_external_sort_cost_model(
+            self.cost_model, acc, self.memory
         )

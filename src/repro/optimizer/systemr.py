@@ -95,6 +95,16 @@ class SystemRDP:
         coster draws memoized sizes, distributions and step costs from
         it; otherwise a fresh context is created per :meth:`optimize`
         call.
+    level_batching:
+        Batch-evaluate each DP level's join steps through the coster's
+        vectorized :meth:`~repro.optimizer.costers.Coster.
+        prefetch_join_steps` before the per-subset scan.  Values are
+        bit-identical to on-demand evaluation, so the chosen plans and
+        costs never change.  ``None`` (default) enables batching exactly
+        when the Chen & Schneider partition prune is off (left-deep
+        spaces): under pruning, prefetching would evaluate steps the
+        prune skips, inflating the ``formula_evaluations`` accounting
+        the experiments rely on.  Pass ``True``/``False`` to force.
     """
 
     def __init__(
@@ -104,6 +114,7 @@ class SystemRDP:
         allow_cross_products: bool = False,
         top_k: int = 1,
         context: Optional[OptimizationContext] = None,
+        level_batching: Optional[bool] = None,
     ):
         try:
             space = PlanSpace.parse(plan_space)
@@ -126,6 +137,12 @@ class SystemRDP:
         # Chen & Schneider lower-bound pruning pays off (and keeps legacy
         # instrumentation exact) only on the enlarged spaces.
         self._prune = space.shape != "left-deep"
+        # Level batching mirrors on-demand evaluation bit-for-bit, but
+        # under pruning it would evaluate steps the prune skips — so the
+        # default ties it to the prune being off.
+        self._batch_steps = (
+            (not self._prune) if level_batching is None else bool(level_batching)
+        )
 
     # ------------------------------------------------------------------
 
@@ -202,9 +219,62 @@ class SystemRDP:
                 allow_cross_products=self.allow_cross_products,
                 names=names,
             )
+            if self._batch_steps:
+                self._prefetch_level(level, query, table)
             for subset in level:
                 self._build_subset(subset, query, table, stats)
         return table
+
+    def _prefetch_level(
+        self,
+        level: Sequence[FrozenSet[str]],
+        query: JoinQuery,
+        table: _Table,
+    ) -> None:
+        """Hand one DP level's join steps to the coster in a single batch.
+
+        The request list replays :meth:`_build_subset`'s filtering exactly
+        — partitions absent from the table, cross products without
+        ``allow_cross_products`` and empty order buckets are skipped — so
+        a coster's batched path evaluates precisely the steps the
+        per-subset scan would request on demand.  Level ``k`` partitions
+        only read levels ``< k``, all already in ``table``, so batching
+        ahead of the subset loop sees the same state.
+        """
+        requests = []
+        for subset in level:
+            phase = len(subset) - 2
+            for left_rels, right_rels in self.space.partitions(subset):
+                if left_rels not in table or right_rels not in table:
+                    continue
+                preds = [
+                    p
+                    for p in query.predicates_within(subset)
+                    if (p.left in left_rels) != (p.right in left_rels)
+                ]
+                if not preds and not self.allow_cross_products:
+                    continue
+                order_target = preds[0].order_label if preds else None
+                combos = set()
+                for lorder, lbucket in table[left_rels].items():
+                    if not any(True for _ in lbucket.items()):
+                        continue
+                    for rorder, rbucket in table[right_rels].items():
+                        if not any(True for _ in rbucket.items()):
+                            continue
+                        combos.add(
+                            (
+                                order_target is not None and lorder == order_target,
+                                order_target is not None and rorder == order_target,
+                            )
+                        )
+                for lsorted, rsorted in sorted(combos):
+                    for method in self.coster.methods:
+                        requests.append(
+                            (method, left_rels, right_rels, phase, lsorted, rsorted)
+                        )
+        if requests:
+            self.coster.prefetch_join_steps(requests)
 
     def _build_subset(
         self,

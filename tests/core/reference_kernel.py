@@ -1,0 +1,194 @@
+"""Pure-python reference implementations of the distribution kernel.
+
+This module is the *behavioral specification* of the vectorized kernel in
+``repro.core.distributions`` / ``repro.core.expected_cost``: every
+function here spells out the intended mathematics with plain loops and
+``math`` — no numpy — so the differential oracle suite
+(``test_kernel_oracle.py``) can check the array code against something a
+reviewer can verify by reading.  The benchmark suite
+(``benchmarks/test_bench_kernel.py``) times the same functions as the
+"before" side of its speedup ratios.
+
+If kernel semantics change (new merge rule, different rebucket strategy,
+changed survival-table convention), change this file in the same commit —
+see CONTRIBUTING.md.  Tolerances for comparisons come from
+``repro.core.floats``; the reference deliberately accumulates sums in
+plain left-to-right order, so parity with the kernel is asserted within
+those tolerances, not bitwise.
+
+All functions work on parallel ``(values, probs)`` lists of floats with
+``sum(probs) == 1`` (up to drift); they neither require nor return
+``DiscreteDistribution`` instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+Support = Tuple[List[float], List[float]]
+
+
+def normalize(values: Sequence[float], probs: Sequence[float]) -> Support:
+    """Sort by value, merge duplicates, drop zero mass, renormalize.
+
+    Mirrors the ``DiscreteDistribution`` constructor's canonicalization.
+    """
+    if len(values) != len(probs) or not values:
+        raise ValueError("values and probs must be equal-length, non-empty")
+    merged = {}
+    for v, p in sorted(zip(values, probs)):
+        if p < 0.0:
+            raise ValueError(f"negative probability {p!r}")
+        merged[float(v)] = merged.get(float(v), 0.0) + float(p)
+    total = sum(merged.values())
+    if total <= 0.0:
+        raise ValueError("total probability mass must be positive")
+    out_v = [v for v, p in merged.items() if p > 0.0]
+    out_p = [merged[v] / total for v in out_v]
+    return out_v, out_p
+
+
+def expectation(
+    values: Sequence[float],
+    probs: Sequence[float],
+    fn: Optional[Callable[[float], float]] = None,
+) -> float:
+    """``E[fn(X)]`` (or ``E[X]``) as a plain left-to-right sum."""
+    total = 0.0
+    for v, p in zip(values, probs):
+        total += (fn(v) if fn is not None else v) * p
+    return total
+
+
+def cdf(values: Sequence[float], probs: Sequence[float], x: float) -> float:
+    """``Pr(X <= x)``."""
+    return sum(p for v, p in zip(values, probs) if v <= x)
+
+
+def sf(values: Sequence[float], probs: Sequence[float], x: float) -> float:
+    """Survival ``Pr(X > x)``, via the same complement the kernel uses."""
+    return 1.0 - cdf(values, probs, x)
+
+
+def prob_of(values: Sequence[float], probs: Sequence[float], x: float) -> float:
+    """Point mass at ``x`` (0.0 when ``x`` is not a support point)."""
+    for v, p in zip(values, probs):
+        if v == x:
+            return p
+    return 0.0
+
+
+def convolve(a: Support, b: Support) -> Support:
+    """Distribution of ``X + Y`` for independent ``X``, ``Y``."""
+    av, ap = a
+    bv, bp = b
+    values = [x + y for x in av for y in bv]
+    probs = [px * py for px in ap for py in bp]
+    return normalize(values, probs)
+
+
+def multiply(a: Support, b: Support) -> Support:
+    """Distribution of ``X · Y`` for independent ``X``, ``Y``."""
+    av, ap = a
+    bv, bp = b
+    values = [x * y for x in av for y in bv]
+    probs = [px * py for px in ap for py in bp]
+    return normalize(values, probs)
+
+
+def mixture(components: Sequence[Tuple[Support, float]]) -> Support:
+    """Weighted mixture of component distributions."""
+    values: List[float] = []
+    probs: List[float] = []
+    for (cv, cp), w in components:
+        values.extend(cv)
+        probs.extend(p * w for p in cp)
+    return normalize(values, probs)
+
+
+def _merge_by_edges(values: Sequence[float], probs: Sequence[float],
+                    edges: Sequence[int]) -> Support:
+    """Merge contiguous index segments to probability-weighted means."""
+    bounds = [0, *edges, len(values)]
+    out_v: List[float] = []
+    out_p: List[float] = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if a >= b:
+            continue
+        mass = sum(probs[a:b])
+        if mass <= 0.0:
+            continue
+        rep = sum(v * p for v, p in zip(values[a:b], probs[a:b])) / mass
+        out_v.append(rep)
+        out_p.append(mass)
+    return normalize(out_v, out_p)
+
+
+def rebucket(values: Sequence[float], probs: Sequence[float],
+             n_buckets: int, strategy: str = "equidepth") -> Support:
+    """Coarsen to at most ``n_buckets`` points, preserving the mean.
+
+    Equidepth cuts where the running CDF crosses ``k / n_buckets``
+    (with the kernel's ``1e-12`` slack); equiwidth cuts the value range
+    into equal-width cells.  Both delegate the merge to
+    :func:`_merge_by_edges`, exactly like the kernel.
+    """
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    if len(values) <= n_buckets:
+        return normalize(values, probs)
+    if strategy == "equidepth":
+        running: List[float] = []
+        acc = 0.0
+        for p in probs:
+            acc += p
+            running.append(acc)
+        edges: List[int] = []
+        for k in range(n_buckets - 1):
+            t = (k + 1) / n_buckets
+            idx = 0
+            while idx < len(running) and running[idx] < t - 1e-12:
+                idx += 1
+            idx += 1
+            if edges and idx <= edges[-1]:
+                idx = edges[-1] + 1
+            if idx >= len(values):
+                break
+            edges.append(idx)
+    elif strategy == "equiwidth":
+        lo, hi = values[0], values[-1]
+        if hi == lo:
+            return normalize(values, probs)
+        width = (hi - lo) / n_buckets
+        edges = []
+        for k in range(1, n_buckets):
+            cut = lo + k * width
+            idx = sum(1 for v in values if v <= cut)
+            if edges and idx <= edges[-1]:
+                continue
+            if 0 < idx < len(values):
+                edges.append(idx)
+    else:
+        raise ValueError(f"unknown rebucket strategy {strategy!r}")
+    return _merge_by_edges(values, probs, edges)
+
+
+def expected_join_cost(
+    cost_fn: Callable[[float, float, float], float],
+    left: Support,
+    right: Support,
+    memory: Support,
+) -> float:
+    """Naive ``b_L · b_R · b_M`` expectation of a join-cost formula.
+
+    The oracle for both the fast single-pair paths and the batched
+    evaluator: whatever route the kernel takes, the answer must agree
+    with this triple loop within cost tolerances.
+    """
+    total = 0.0
+    for lv, lp in zip(*left):
+        for rv, rp in zip(*right):
+            for mv, mp in zip(*memory):
+                total += lp * rp * mp * cost_fn(lv, rv, mv)
+    return total

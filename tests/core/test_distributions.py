@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 
 import numpy as np
 import pytest
@@ -19,6 +20,7 @@ from repro.core.distributions import (
     two_point,
     uniform_over,
 )
+from repro.core.floats import probs_close
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +227,68 @@ class TestCdf:
             small_memory_dist.conditional_expectation_le(10.0)
         with pytest.raises(ValueError):
             small_memory_dist.conditional_expectation_ge(1e9)
+
+
+class TestPointQueries:
+    """Edge cases of the searchsorted-backed point lookups."""
+
+    def test_prob_of_between_buckets(self, small_memory_dist):
+        # Between buckets the mass is exactly 0.0 — searchsorted either
+        # misses or lands on a non-equal support point.
+        assert math.isclose(
+            small_memory_dist.prob_of(550.0), 0.0, rel_tol=0.0, abs_tol=0.0
+        )
+        assert math.isclose(
+            small_memory_dist.prob_of(4999.999), 0.0, rel_tol=0.0, abs_tol=0.0
+        )
+
+    def test_prob_of_exact_boundary(self, small_memory_dist):
+        assert probs_close(small_memory_dist.prob_of(300.0), 0.2)
+        assert probs_close(small_memory_dist.prob_of(5000.0), 0.2)
+
+    def test_prob_of_outside_support(self, small_memory_dist):
+        assert math.isclose(
+            small_memory_dist.prob_of(1.0), 0.0, rel_tol=0.0, abs_tol=0.0
+        )
+        assert math.isclose(
+            small_memory_dist.prob_of(1e9), 0.0, rel_tol=0.0, abs_tol=0.0
+        )
+
+    def test_cdf_between_buckets(self, small_memory_dist):
+        assert probs_close(small_memory_dist.cdf(550.0), 0.2)
+        assert probs_close(small_memory_dist.cdf(2500.0), 0.8)
+
+    def test_cdf_above_support(self, small_memory_dist):
+        assert probs_close(small_memory_dist.cdf(1e9), 1.0)
+
+    def test_many_variants_on_empty_query(self, small_memory_dist):
+        assert small_memory_dist.cdf_many([]).shape == (0,)
+        assert small_memory_dist.sf_many([]).shape == (0,)
+        assert small_memory_dist.prob_of_many([]).shape == (0,)
+
+    def test_many_variants_match_scalars(self, small_memory_dist):
+        xs = [1.0, 300.0, 550.0, 800.0, 2500.0, 5000.0, 1e9]
+        np.testing.assert_array_equal(
+            small_memory_dist.cdf_many(xs),
+            [small_memory_dist.cdf(x) for x in xs],
+        )
+        np.testing.assert_array_equal(
+            small_memory_dist.sf_many(xs),
+            [small_memory_dist.sf(x) for x in xs],
+        )
+        np.testing.assert_array_equal(
+            small_memory_dist.prob_of_many(xs),
+            [small_memory_dist.prob_of(x) for x in xs],
+        )
+
+    def test_sf_arrays_cached_and_frozen(self, small_memory_dist):
+        incl, excl = small_memory_dist.sf_arrays()
+        incl2, excl2 = small_memory_dist.sf_arrays()
+        assert incl.base is incl2.base  # computed once, cached
+        with pytest.raises(ValueError):
+            incl[0] = 0.5
+        np.testing.assert_allclose(incl, [1.0, 0.8, 0.5, 0.2])
+        np.testing.assert_allclose(excl, [0.8, 0.5, 0.2, 0.0])
 
 
 # ----------------------------------------------------------------------

@@ -17,11 +17,13 @@ import numpy as np
 import pytest
 
 from repro.core.distributions import DiscreteDistribution
+from repro.core.floats import costs_close
 from repro.optimizer.facade import clear_context_cache, optimize
 from repro.workloads.queries import (
     chain_query,
     random_query,
     star_query,
+    union_query,
     with_selectivity_uncertainty,
     with_size_uncertainty,
 )
@@ -109,3 +111,123 @@ class TestSpaceDominance:
             if base is None:
                 base = (res.plan.signature(), res.objective)
             assert (res.plan.signature(), res.objective) == base
+
+
+# ----------------------------------------------------------------------
+# Golden cost pins across every plan space
+# ----------------------------------------------------------------------
+
+#: (query, plan space, objective) -> (plan signature, objective value),
+#: captured on the pre-vectorization kernel.  These pin the *values*, not
+#: just the shapes: a kernel refactor that silently shifts an expected
+#: cost — even one that still picks the same plans on these queries —
+#: fails here loudly.  The multiparam entries flow through rebucketed
+#: size-distribution propagation, so they also pin the rebucket kernel.
+GOLDEN_COSTS = {
+    ("chain5", "left-deep", "lec"):
+        ("((((R4 NL R3) GH R2) GH R1) GH R0)", 198891.0028260278),
+    ("chain5", "left-deep", "multiparam"):
+        ("((((R4 GH R3) GH R2) GH R1) GH R0)", 176402.08912303875),
+    ("chain5", "zig-zag", "lec"):
+        ("((((R4 NL R3) GH R2) GH R1) GH R0)", 198891.0028260278),
+    ("chain5", "zig-zag", "multiparam"):
+        ("((((R4 GH R3) GH R2) GH R1) GH R0)", 176402.08912303875),
+    ("chain5", "bushy", "lec"):
+        ("(R0 GH (R1 GH (R2 GH (R3 NL R4))))", 198891.0028260278),
+    ("chain5", "bushy", "multiparam"):
+        ("(R0 GH (R1 GH ((R3 GH R4) GH R2)))", 176402.08912303875),
+    ("star5", "left-deep", "lec"):
+        ("((((R4 GH R0) GH R2) GH R1) GH R3)", 340266.32874036324),
+    ("star5", "left-deep", "multiparam"):
+        ("((((R4 GH R0) GH R1) GH R2) GH R3)", 329768.6327089302),
+    ("star5", "zig-zag", "lec"):
+        ("((((R4 GH R0) GH R2) GH R1) GH R3)", 340266.32874036324),
+    ("star5", "zig-zag", "multiparam"):
+        ("((((R4 GH R0) GH R1) GH R2) GH R3)", 329768.6327089302),
+    ("star5", "bushy", "lec"):
+        ("(R3 GH (R1 GH (R2 GH (R0 GH R4))))", 340266.32874036324),
+    ("star5", "bushy", "multiparam"):
+        ("(R3 GH (R2 GH (R1 GH (R4 GH R0))))", 329768.6327089302),
+    ("chain4_order", "left-deep", "lec"):
+        ("(((R3 GH R2) GH R1) SM R0)", 256932.8772938469),
+    ("chain4_order", "left-deep", "multiparam"):
+        ("(((R3 GH R2) GH R1) SM R0)", 262358.0882013979),
+    ("chain4_order", "zig-zag", "lec"):
+        ("(((R3 GH R2) GH R1) SM R0)", 256932.8772938469),
+    ("chain4_order", "zig-zag", "multiparam"):
+        ("(R0 SM ((R3 GH R2) GH R1))", 262358.08820139786),
+    ("chain4_order", "bushy", "lec"):
+        ("(R0 SM (R1 GH (R2 GH R3)))", 256932.8772938469),
+    ("chain4_order", "bushy", "multiparam"):
+        ("(R0 SM ((R3 GH R2) GH R1))", 262358.08820139786),
+    ("rand4a", "left-deep", "lec"):
+        ("(((R2 GH R0) GH R3) NL R1)", 99197.99898952973),
+    ("rand4a", "left-deep", "multiparam"):
+        ("(((R2 GH R0) GH R3) NL R1)", 99194.56760633661),
+    ("rand4a", "zig-zag", "lec"):
+        ("(((R2 GH R0) GH R3) NL R1)", 99197.99898952973),
+    ("rand4a", "zig-zag", "multiparam"):
+        ("(((R2 GH R0) GH R3) NL R1)", 99194.56760633661),
+    ("rand4a", "bushy", "lec"):
+        ("(R1 NL ((R0 GH R2) GH R3))", 99197.99898952973),
+    ("rand4a", "bushy", "multiparam"):
+        ("(R1 NL ((R2 GH R0) GH R3))", 99194.56760633661),
+    ("rand4b", "left-deep", "lec"):
+        ("(((R3 GH R0) GH R1) NL R2)", 257912.15670540216),
+    ("rand4b", "left-deep", "multiparam"):
+        ("(((R3 GH R0) GH R1) NL R2)", 251626.25797403595),
+    ("rand4b", "zig-zag", "lec"):
+        ("(((R3 GH R0) GH R1) NL R2)", 257912.15670540216),
+    ("rand4b", "zig-zag", "multiparam"):
+        ("((R1 GH (R3 GH R0)) NL R2)", 251626.25797403592),
+    ("rand4b", "bushy", "lec"):
+        ("(R2 NL (R1 GH (R0 GH R3)))", 257912.15670540216),
+    ("rand4b", "bushy", "multiparam"):
+        ("(R2 NL (R1 GH (R3 GH R0)))", 251626.25797403592),
+    ("union2x3", "spju", "lec"):
+        ("union-distinct(project(((U0R0 GH U0R1) GH U0R2)), "
+         "(U1R0 GH (U1R1 NL U1R2)))", 69642392.5346557),
+    ("union2x3", "spju", "multiparam"):
+        ("union-distinct(project(((U0R0 GH U0R1) GH U0R2)), "
+         "(U1R0 GH (U1R2 NL U1R1)))", 70017804.69608082),
+}
+
+
+def _pinned_queries():
+    rng = np.random.default_rng(42)
+    queries = {
+        "chain5": chain_query(5, rng),
+        "star5": star_query(5, rng),
+        "chain4_order": chain_query(4, rng, require_order=True),
+    }
+    rng2 = np.random.default_rng(1234)
+    for name in ("rand4a", "rand4b"):
+        queries[name] = random_query(
+            4, rng2, min_pages=200, max_pages=150000, rows_per_page=100
+        )
+    urng = np.random.default_rng(7)
+    queries["union2x3"] = union_query(
+        2, 3, urng, distinct=True, projection_ratios=[0.6, 1.0]
+    )
+    return {
+        name: with_selectivity_uncertainty(with_size_uncertainty(q, 0.8), 0.8)
+        for name, q in queries.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def pinned_queries():
+    return _pinned_queries()
+
+
+class TestGoldenCostPins:
+    @pytest.mark.parametrize("case", sorted(GOLDEN_COSTS))
+    def test_cost_pinned(self, pinned_queries, case):
+        qname, space, objective = case
+        clear_context_cache()
+        res = optimize(
+            pinned_queries[qname], objective, memory=MEMORY, plan_space=space
+        )
+        want_sig, want_obj = GOLDEN_COSTS[case]
+        assert res.plan.signature() == want_sig
+        assert costs_close(res.objective, want_obj)
