@@ -28,17 +28,35 @@ irreproducible stream (under ``fork`` the workers may even *share* the
 parent's hidden global state).  Findings inside such functions carry a
 worker-specific message: derive the worker's generator from a seed
 passed in explicitly (argument, config field, or wire message).
+
+Worker *pools* are the same trap with a different spelling: a function
+handed to ``pool.submit(fn)`` / ``pool.map(fn, ...)`` /
+``pool.apply_async(fn)`` / ``pool.map_ordered(fn, tasks)`` runs as a
+**pool task**, possibly many times concurrently, on whatever thread or
+process the executor picks.  An unseeded generator built inside one
+makes every chunk's stream depend on the schedule.  Findings inside
+pool-task functions carry their own message: derive a per-chunk
+generator from the caller's seed (e.g. ``default_rng([seed, chunk])``),
+never from ambient entropy.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import Dict, Iterator, Optional
 
 from ..engine import Finding, ModuleInfo, Rule, register
 from ._util import dotted_name
 
 __all__ = ["DeterminismRule"]
+
+#: executor/pool methods whose first positional argument is a function
+#: that will run as a pool task (concurrent.futures, multiprocessing
+#: pools, and this repository's WorkerPool.map_ordered).
+_POOL_METHODS = {
+    "submit", "map", "imap", "imap_unordered", "starmap", "starmap_async",
+    "apply_async", "map_async", "map_ordered",
+}
 
 #: np.random constructors that are fine *when given a seed argument*.
 _SEEDED_FACTORIES = {"default_rng", "RandomState", "SeedSequence",
@@ -91,14 +109,19 @@ def _entropy_seed_source(call: ast.Call) -> Optional[str]:
     return None
 
 
-def _worker_entry_names(tree: ast.AST) -> Set[str]:
-    """Names of functions handed to ``Process(target=...)``.
+def _worker_entry_names(tree: ast.AST) -> Dict[str, str]:
+    """Functions that run as worker entry points, by idiom.
 
-    Matches any ``*.Process(...)`` / ``Process(...)`` call — the
-    ``multiprocessing`` module, a ``get_context()`` handle, and aliases
-    all end in the same attribute leaf.
+    Maps the bare function name to ``"process"`` for ``Process(target=
+    ...)`` targets (the ``multiprocessing`` module, a ``get_context()``
+    handle, and aliases all end in the same attribute leaf) or
+    ``"pool"`` for the first argument of an executor/pool dispatch
+    method (``.submit(fn)``, ``.map(fn, ...)``, ``.apply_async(fn)``,
+    ``.map_ordered(fn, tasks)``, ...).  A name claimed by both idioms
+    keeps the Process classification — the cross-process failure mode
+    is the stronger warning.
     """
-    names: Set[str] = set()
+    names: Dict[str, str] = {}
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -106,13 +129,22 @@ def _worker_entry_names(tree: ast.AST) -> Set[str]:
         leaf = func.attr if isinstance(func, ast.Attribute) else (
             func.id if isinstance(func, ast.Name) else None
         )
-        if leaf != "Process":
-            continue
-        for kw in node.keywords:
-            if kw.arg == "target":
-                target = dotted_name(kw.value)
-                if target is not None:
-                    names.add(target.split(".")[-1])
+        if leaf == "Process":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target = dotted_name(kw.value)
+                    if target is not None:
+                        names[target.split(".")[-1]] = "process"
+        elif (
+            isinstance(func, ast.Attribute)
+            and leaf in _POOL_METHODS
+            and node.args
+        ):
+            # Only attribute calls count: the builtin map(fn, xs) is a
+            # plain Name call and stays out of scope.
+            target = dotted_name(node.args[0])
+            if target is not None:
+                names.setdefault(target.split(".")[-1], "pool")
     return names
 
 
@@ -190,16 +222,23 @@ class DeterminismRule(Rule):
                     )
 
     def _worker_suffix(self, module: ModuleInfo, node: ast.AST,
-                       workers: Set[str]) -> str:
+                       workers: Dict[str, str]) -> str:
         """Worker-specific message tail when ``node`` sits in an entry point."""
         if not workers:
             return ""
         for anc in module.ancestors(node):
             if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)) \
                     and anc.name in workers:
+                if workers[anc.name] == "process":
+                    return (
+                        f" ({anc.name}() is a Process target: each worker "
+                        f"needs a seed handed in explicitly, or replays "
+                        f"diverge per process)"
+                    )
                 return (
-                    f" ({anc.name}() is a Process target: each worker "
-                    f"needs a seed handed in explicitly, or replays "
-                    f"diverge per process)"
+                    f" ({anc.name}() is a pool task: derive a per-chunk "
+                    f"generator from the caller's seed, e.g. "
+                    f"default_rng([seed, chunk_index]), or the schedule "
+                    f"decides the stream)"
                 )
         return ""

@@ -8,7 +8,13 @@ that keeps them sound is simple and checkable:
   private (``self._*``) attributes inside a ``with self.<lock>:`` block
   (``__init__`` excepted — the object is not yet shared);
 * a module that owns a module-level lock must only write its
-  ``global``-declared names inside a ``with <lock>:`` block.
+  ``global``-declared names inside a ``with <lock>:`` block — and a
+  *write* includes item stores (``_REGISTRY[key] = v``), attribute
+  stores, and in-place container mutators (``_REGISTRY.clear()``,
+  ``_QUEUE.append(...)``), not just rebinding the name.  The worker-pool
+  registry is the motivating case: ``get_pool`` publishing into a
+  shared module dict must hold the registry lock for the item store,
+  exactly as it must for the rebind.
 
 Reads are deliberately not flagged (many are benign racy reads of a
 single reference); helper methods designed to run with the lock already
@@ -223,16 +229,55 @@ class LockDisciplineRule(Rule):
             targets: List[ast.AST] = []
             if isinstance(node, ast.Assign):
                 targets = list(node.targets)
-            elif isinstance(node, ast.AugAssign):
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
                 targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
             for target in targets:
-                if isinstance(target, ast.Name) and target.id in declared:
-                    yield self.finding(
-                        module, node,
-                        f"{func_name}() writes module global {target.id!r} "
-                        f"outside `with <module lock>:`",
-                    )
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    sub_targets = list(target.elts)
+                else:
+                    sub_targets = [target]
+                for t in sub_targets:
+                    name = self._global_store_name(t, declared)
+                    if name is not None:
+                        yield self.finding(
+                            module, node,
+                            f"{func_name}() writes module global {name!r} "
+                            f"outside `with <module lock>:`",
+                        )
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                func = node.value.func
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                    base = func.value
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id in declared:
+                        yield self.finding(
+                            module, node,
+                            f"{func_name}() mutates module global "
+                            f"{base.id!r} (.{func.attr}()) outside "
+                            f"`with <module lock>:`",
+                        )
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.stmt):
                 yield from self._visit_globals(module, child, func_name,
                                                declared, mod_locks, held)
+
+    @staticmethod
+    def _global_store_name(target: ast.AST,
+                           declared: Set[str]) -> Optional[str]:
+        """Declared-global name a store writes, rebinding or in place.
+
+        ``_G = v`` rebinding, ``_G[key] = v`` item stores and
+        ``_G.attr = v`` attribute stores all count: the container is the
+        shared state, and an unlocked item store races exactly like an
+        unlocked rebind.
+        """
+        if isinstance(target, ast.Name) and target.id in declared:
+            return target.id
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            inner = target.value
+            if isinstance(inner, ast.Name) and inner.id in declared:
+                return inner.id
+        return None

@@ -48,7 +48,13 @@ from ..serving.service import OptimizeRequest
 from ..tools.serialize import plan_from_dict, query_to_dict
 from .admission import SHED, AdmissionController, AdmissionDecision
 from .metrics import ClusterMetrics
-from .protocol import FrameDecoder, ProtocolError, encode_frame, encode_memory
+from .protocol import (
+    FrameDecoder,
+    ProtocolError,
+    batch_message,
+    encode_frame,
+    encode_memory,
+)
 from .shared_cache import (
     SharedPlanTier,
     cache_key_digest,
@@ -156,6 +162,12 @@ class ClusterGateway:
     worker_threads / hot_entries / warm_limit / shared_max_entries /
     coarse_buckets / default_deadline:
         Forwarded into each shard's :class:`WorkerConfig`.
+    worker_level_batching / worker_parallelism:
+        Engine evaluation knobs applied service-wide inside every shard
+        (see :func:`repro.optimize`): batch DP levels through the
+        vectorized kernel and/or fan them across an intra-shard worker
+        pool.  Bit-invisible in every answer; per-request wire fields
+        override them.
     health_interval:
         Seconds between background health sweeps (``None`` disables the
         task; :meth:`check_health` can still be called manually).
@@ -175,6 +187,8 @@ class ClusterGateway:
         shared_max_entries: int = 4096,
         coarse_buckets: int = 3,
         default_deadline: Optional[float] = None,
+        worker_level_batching: Optional[bool] = None,
+        worker_parallelism=None,
         health_interval: Optional[float] = None,
         max_retries: int = 2,
     ):
@@ -192,6 +206,8 @@ class ClusterGateway:
         self._shared_max_entries = shared_max_entries
         self._coarse_buckets = coarse_buckets
         self._default_deadline = default_deadline
+        self._worker_level_batching = worker_level_batching
+        self._worker_parallelism = worker_parallelism
         self.health_interval = health_interval
         self.max_retries = max_retries
 
@@ -310,6 +326,8 @@ class ClusterGateway:
             shared_max_entries=self._shared_max_entries,
             coarse_buckets=self._coarse_buckets,
             default_deadline=self._default_deadline,
+            level_batching=self._worker_level_batching,
+            parallelism=self._worker_parallelism,
         )
 
     async def _spawn(self, shard: _Shard) -> None:
@@ -521,19 +539,20 @@ class ClusterGateway:
         """Fingerprint-hash routing: the shard owning this query."""
         return int(fingerprint_digest(fingerprint)[:8], 16) % self.n_shards
 
-    async def optimize(self, request: Optional[OptimizeRequest] = None,
-                       **kwargs) -> ClusterResult:
-        """Serve one request through the cluster.
+    async def _prepare(self, request: OptimizeRequest):
+        """Validate, admit and register one request without sending it.
 
-        Accepts a prepared :class:`OptimizeRequest` or its keyword
-        arguments, exactly like ``OptimizerService.submit``.
+        Returns ``(tag, obj, shard, message)``:
+
+        ``("shed", ClusterResult, None, None)``
+            refused at admission — already final.
+        ``("coalesced", future, None, None)``
+            rides an identical in-flight request's future.
+        ``("send", future, shard, message)``
+            registered in ``shard.pending``/``_inflight``; the caller
+            owns the actual frame write (so many same-shard requests
+            can be flushed in one ``optimize_batch`` frame).
         """
-        self._require_started()
-        if request is None:
-            request = OptimizeRequest(**kwargs)
-        elif kwargs:
-            request = replace(request, **kwargs)
-
         kind = _OBJECTIVES.get(str(request.objective).lower())
         if kind is None:
             raise OptimizerConfigError(
@@ -566,20 +585,21 @@ class ClusterGateway:
         if leader is not None:
             # Coalesce: ride the identical in-flight request.
             self.metrics.registry.counter("cluster.coalesced").increment()
-            result = await asyncio.shield(leader)
-            return replace(result, coalesced=True)
+            return ("coalesced", leader, None, None)
 
         decision = self.admission.decide(len(shard.pending), request.deadline)
         if decision.action == SHED:
             self.metrics.registry.counter("cluster.shed").increment()
-            return ClusterResult(
+            return ("shed", ClusterResult(
                 status="shed", shard=shard.index, admission=decision,
                 error=decision.reason,
-            )
+            ), None, None)
         if decision.action != "admit":
             self.metrics.registry.counter("cluster.admission_degraded").increment()
 
         request_id = next(self._ids)
+        # The replayed-on-restart copy keeps its own "optimize" type;
+        # batching is purely a first-send transport optimisation.
         message = {
             "type": "optimize",
             "id": request_id,
@@ -593,6 +613,8 @@ class ClusterGateway:
             "max_buckets": request.max_buckets,
             "fast": request.fast,
             "include_mean": request.include_mean,
+            "level_batching": request.level_batching,
+            "parallelism": request.parallelism,
         }
         future: "asyncio.Future[ClusterResult]" = (
             asyncio.get_event_loop().create_future()
@@ -603,12 +625,79 @@ class ClusterGateway:
         )
         shard.pending[request_id] = pending
         self._inflight[key] = future
+        return ("send", future, shard, message)
+
+    async def _write_frames(self, shard: _Shard,
+                            messages: List[Dict[str, Any]]) -> None:
+        """Flush ``messages`` to one shard — a single write and drain.
+
+        Two or more messages travel as one ``optimize_batch`` frame; a
+        singleton keeps the legacy ``optimize`` frame so a pre-batch
+        worker still understands it.
+        """
+        frame = encode_frame(
+            messages[0] if len(messages) == 1 else batch_message(messages)
+        )
         try:
-            shard.writer.write(encode_frame(message))
+            shard.writer.write(frame)
             await shard.writer.drain()
         except (ConnectionError, OSError):
             pass  # the read loop sees the broken pipe and replays
-        return await asyncio.shield(future)
+
+    async def optimize(self, request: Optional[OptimizeRequest] = None,
+                       **kwargs) -> ClusterResult:
+        """Serve one request through the cluster.
+
+        Accepts a prepared :class:`OptimizeRequest` or its keyword
+        arguments, exactly like ``OptimizerService.submit``.
+        """
+        self._require_started()
+        if request is None:
+            request = OptimizeRequest(**kwargs)
+        elif kwargs:
+            request = replace(request, **kwargs)
+        tag, obj, shard, message = await self._prepare(request)
+        if tag == "shed":
+            return obj
+        if tag == "coalesced":
+            result = await asyncio.shield(obj)
+            return replace(result, coalesced=True)
+        await self._write_frames(shard, [message])
+        return await asyncio.shield(obj)
+
+    async def optimize_many(
+        self, requests: Sequence[OptimizeRequest]
+    ) -> List[ClusterResult]:
+        """Serve many requests, one coalesced frame write per shard.
+
+        Every request goes through the same admission/coalescing/
+        routing as :meth:`optimize`; the difference is transport-only —
+        all admitted requests routed to the same shard leave in a
+        single ``optimize_batch`` frame (one syscall per shard instead
+        of one per request), which is where the replay driver's
+        gateway-bound workloads spend their syscall budget.  Results
+        come back in request order; duplicates inside the batch
+        coalesce onto the first occurrence.
+        """
+        self._require_started()
+        prepared = [await self._prepare(r) for r in requests]
+        flushes: Dict[int, Tuple[_Shard, List[Dict[str, Any]]]] = {}
+        for tag, _obj, shard, message in prepared:
+            if tag == "send":
+                flushes.setdefault(shard.index, (shard, []))[1].append(message)
+        for shard, messages in flushes.values():
+            await self._write_frames(shard, messages)
+        results: List[ClusterResult] = []
+        for tag, obj, _shard, _message in prepared:
+            if tag == "shed":
+                results.append(obj)
+            elif tag == "coalesced":
+                results.append(
+                    replace(await asyncio.shield(obj), coalesced=True)
+                )
+            else:
+                results.append(await asyncio.shield(obj))
+        return results
 
     # ------------------------------------------------------------------
     # Introspection

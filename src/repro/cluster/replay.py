@@ -88,13 +88,25 @@ async def replay(
     admission: Optional[AdmissionController] = None,
     kill_worker_at: Optional[int] = None,
     health_interval: Optional[float] = None,
+    level_batching: Optional[bool] = None,
+    parallelism=None,
+    batch_size: int = 1,
 ) -> Dict[str, Any]:
     """Replay ``workload`` through a fresh gateway; return the report.
 
     ``kill_worker_at`` hard-kills worker 0 after that many requests have
     been answered — the crash-resilience drill: the report's ``lost``
     must stay 0 because the gateway replays in-flight work.
+
+    ``level_batching``/``parallelism`` opt every shard's service into
+    the vectorized/parallel DP evaluation (bit-invisible in plans —
+    they only move the throughput numbers).  ``batch_size > 1`` sends
+    requests through :meth:`ClusterGateway.optimize_many` in groups of
+    that size, so same-shard requests share one ``optimize_batch``
+    frame write.
     """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     semaphore = asyncio.Semaphore(concurrency)
     answered = 0
     killed = False
@@ -105,12 +117,12 @@ async def replay(
         catalog_sources=catalog_sources,
         admission=admission,
         health_interval=health_interval,
+        worker_level_batching=level_batching,
+        worker_parallelism=parallelism,
     ) as gateway:
 
-        async def _one(index: int, request: OptimizeRequest) -> None:
+        def _account(index: int, result: ClusterResult) -> None:
             nonlocal answered, killed
-            async with semaphore:
-                result = await gateway.optimize(request)
             results[index] = result
             if result.status != "shed":
                 answered += 1
@@ -122,10 +134,30 @@ async def replay(
                 killed = True
                 gateway.kill_worker(0)
 
+        async def _one(index: int, request: OptimizeRequest) -> None:
+            async with semaphore:
+                result = await gateway.optimize(request)
+            _account(index, result)
+
+        async def _group(indices: List[int]) -> None:
+            async with semaphore:
+                group = await gateway.optimize_many(
+                    [workload[i] for i in indices]
+                )
+            for index, result in zip(indices, group):
+                _account(index, result)
+
         t0 = time.perf_counter()
-        await asyncio.gather(
-            *(_one(i, r) for i, r in enumerate(workload))
-        )
+        if batch_size > 1:
+            await asyncio.gather(*(
+                _group(list(range(start, min(start + batch_size,
+                                             len(workload)))))
+                for start in range(0, len(workload), batch_size)
+            ))
+        else:
+            await asyncio.gather(
+                *(_one(i, r) for i, r in enumerate(workload))
+            )
         wall = time.perf_counter() - t0
         snapshot = await gateway.snapshot()
 
@@ -146,6 +178,9 @@ async def replay(
             "concurrency": concurrency,
             "kill_worker_at": kill_worker_at,
             "cpu_count": os.cpu_count(),
+            "level_batching": level_batching,
+            "parallelism": parallelism,
+            "batch_size": batch_size,
         },
         "wall_seconds": wall,
         "throughput_qps": len(ok) / wall if wall > 0 else 0.0,
@@ -178,6 +213,9 @@ def run_replay(
     kill_worker_at: Optional[int] = None,
     admission: Optional[AdmissionController] = None,
     schedule: str = "zipf",
+    level_batching: Optional[bool] = None,
+    parallelism=None,
+    batch_size: int = 1,
 ) -> Dict[str, Any]:
     """Synchronous entry point: build the workload and replay it."""
     rng = np.random.default_rng(seed)
@@ -189,4 +227,6 @@ def run_replay(
     return asyncio.run(replay(
         workload, shards=shards, concurrency=concurrency,
         admission=admission, kill_worker_at=kill_worker_at,
+        level_batching=level_batching, parallelism=parallelism,
+        batch_size=batch_size,
     ))

@@ -29,11 +29,17 @@ from __future__ import annotations
 import signal
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..serving.service import OptimizeRequest, OptimizerService, ServingResult
 from ..tools.serialize import SerializationError, query_from_dict
-from .protocol import ProtocolError, decode_memory, read_frame, write_frame
+from .protocol import (
+    ProtocolError,
+    decode_memory,
+    iter_requests,
+    read_frame,
+    write_frame,
+)
 from .shared_cache import SharedCacheState, SharedPlanTier, TieredPlanCache
 
 __all__ = ["WorkerConfig", "VersionShim", "worker_main"]
@@ -51,6 +57,11 @@ class WorkerConfig:
     shared_max_entries: int = 4096
     coarse_buckets: int = 3
     default_deadline: Optional[float] = None
+    #: Service-wide engine knobs (see :class:`OptimizerService`): shard
+    #: processes opt into level batching / an intra-shard worker pool.
+    #: Bit-invisible in every answer, so safe to vary per deployment.
+    level_batching: Optional[bool] = None
+    parallelism: Union[None, bool, int, str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -103,6 +114,10 @@ def _decode_request(message: Dict[str, Any]) -> OptimizeRequest:
         max_buckets=int(message.get("max_buckets", 16)),
         fast=bool(message.get("fast", False)),
         include_mean=bool(message.get("include_mean", True)),
+        # None means "use the service default" (the shard's WorkerConfig
+        # knobs); an explicit wire value overrides it per request.
+        level_batching=message.get("level_batching"),
+        parallelism=message.get("parallelism"),
     )
 
 
@@ -148,6 +163,8 @@ def worker_main(sock, shared_state: SharedCacheState,
         catalog_sources=shims,
         coarse_buckets=config.coarse_buckets,
         default_deadline=config.default_deadline,
+        level_batching=config.level_batching,
+        parallelism=config.parallelism,
     )
 
     def _respond(request_id: int, future) -> None:
@@ -176,27 +193,30 @@ def worker_main(sock, shared_state: SharedCacheState,
                 break  # gateway hung up
             mtype = message["type"]
 
-            if mtype == "optimize":
-                request_id = int(message["id"])
-                try:
-                    request = _decode_request(message)
-                except ProtocolError as exc:
-                    sender.send({
-                        "type": "error", "id": request_id,
-                        "error": "ProtocolError", "message": str(exc),
-                    })
-                    continue
-                try:
-                    future = service.submit(request)
-                except RuntimeError as exc:
-                    sender.send({
-                        "type": "error", "id": request_id,
-                        "error": "RuntimeError", "message": str(exc),
-                    })
-                    continue
-                future.add_done_callback(
-                    lambda f, rid=request_id: _respond(rid, f)
-                )
+            if mtype in ("optimize", "optimize_batch"):
+                # A legacy single-request frame is a batch of one; every
+                # request in the frame is answered independently.
+                for body in iter_requests(message):
+                    request_id = int(body["id"])
+                    try:
+                        request = _decode_request(body)
+                    except ProtocolError as exc:
+                        sender.send({
+                            "type": "error", "id": request_id,
+                            "error": "ProtocolError", "message": str(exc),
+                        })
+                        continue
+                    try:
+                        future = service.submit(request)
+                    except RuntimeError as exc:
+                        sender.send({
+                            "type": "error", "id": request_id,
+                            "error": "RuntimeError", "message": str(exc),
+                        })
+                        continue
+                    future.add_done_callback(
+                        lambda f, rid=request_id: _respond(rid, f)
+                    )
 
             elif mtype == "ping":
                 sender.send({

@@ -51,6 +51,7 @@ def optimize_algorithm_d(
     top_k: int = 1,
     context: Optional[OptimizationContext] = None,
     level_batching: Optional[bool] = None,
+    parallelism=None,
 ) -> OptimizationResult:
     """LEC optimization with distributional sizes and selectivities.
 
@@ -67,6 +68,10 @@ def optimize_algorithm_d(
         Forwarded to :class:`~repro.optimizer.systemr.SystemRDP`: batch
         each DP level's join steps through the vectorized kernel.
         Bit-identical plans and costs either way.
+    parallelism:
+        Fan prefetched level batches out across a worker pool (see
+        :func:`repro.core.parallel.parse_parallelism`); bit-identical
+        plans, costs and ``formula_evaluations`` either way.
     """
     coster = MultiParamCoster(
         memory,
@@ -81,6 +86,7 @@ def optimize_algorithm_d(
         top_k=top_k,
         context=context,
         level_batching=level_batching,
+        parallelism=parallelism,
     )
     return engine.optimize(query)
 

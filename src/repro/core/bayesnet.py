@@ -13,8 +13,14 @@ selectivities — and :class:`~repro.optimizer.costers` gains a
 exact expected costs under the dependent joint.
 
 Networks are meant to be small (a handful of nodes, a few values each);
-inference is by exact joint enumeration, which is both simple and — at
-optimizer scale — fast.
+inference is by exact joint enumeration.  The enumeration itself is an
+array program: :meth:`DiscreteBayesNet.joint_arrays` expands the joint
+level by level (one vectorized multiply per node) in the exact order and
+with the exact per-assignment multiply sequence the old recursive walk
+used, so probabilities are bit-identical; ``joint()`` and
+``expectation`` are thin views over those arrays, and
+:meth:`DiscreteBayesNet.expectation_many` batches whole matrices of
+per-assignment values into one cumulative-sum reduction.
 """
 
 from __future__ import annotations
@@ -66,6 +72,8 @@ class DiscreteBayesNet:
         self._nodes: Dict[str, _Node] = {}
         self._order: List[str] = []
         self._joint_cache: Optional[List[Tuple[Assignment, float]]] = None
+        # (values (k, n_nodes), probs (k,)) — the array twin of the joint.
+        self._arrays_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -119,6 +127,7 @@ class DiscreteBayesNet:
             self._nodes[name] = _Node(name, vals, (), {(): vec})
         self._order.append(name)
         self._joint_cache = None
+        self._arrays_cache = None
         return self
 
     @staticmethod
@@ -142,28 +151,106 @@ class DiscreteBayesNet:
         return list(self._order)
 
     def joint(self) -> List[Tuple[Assignment, float]]:
-        """All full assignments with non-zero probability."""
+        """All full assignments with non-zero probability.
+
+        A dict-of-floats view over :meth:`joint_arrays` — same rows,
+        same order, same probabilities.
+        """
         if self._joint_cache is None:
-            out: List[Tuple[Assignment, float]] = []
-            self._enumerate({}, 1.0, 0, out)
-            self._joint_cache = out
+            values, probs = self.joint_arrays()
+            self._joint_cache = [
+                (
+                    {name: float(v) for name, v in zip(self._order, row)},
+                    float(p),
+                )
+                for row, p in zip(values, probs)
+            ]
         return self._joint_cache
 
-    def _enumerate(self, partial: Assignment, prob: float, depth: int, out):
-        if negligible_mass(prob):
-            return
-        if depth == len(self._order):
-            out.append((dict(partial), prob))
-            return
-        node = self._nodes[self._order[depth]]
-        key = tuple(partial[p] for p in node.parents)
-        row = node.cpt[key]
-        for value, p in zip(node.values, row):
-            if p == 0.0:
-                continue
-            partial[node.name] = value
-            self._enumerate(partial, prob * p, depth + 1, out)
-            del partial[node.name]
+    def joint_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The joint as arrays: ``(values (k, n_nodes), probs (k,))``.
+
+        Column ``j`` of ``values`` holds variable ``self.names[j]``; row
+        order is the depth-first order the recursive enumeration used
+        (node values in declaration order at every level).  The
+        expansion is iterative and vectorized — one cpt-row gather and
+        one elementwise multiply per node — but performs the *same*
+        left-to-right multiply sequence per assignment as the scalar
+        walk, so every probability is bit-identical.  Pruning mirrors
+        the walk too: zero cpt entries are dropped at the level that
+        introduces them and partials whose running mass is negligible
+        (``negligible_mass``) are dropped on entry to the next level,
+        including the final full-assignment check.
+
+        A conditioned clone (whose joint was frozen by
+        :meth:`condition`) derives its arrays from the frozen joint
+        rather than re-expanding.
+        """
+        if self._arrays_cache is None:
+            if self._joint_cache is not None:
+                self._arrays_cache = self._arrays_from_joint()
+            else:
+                self._arrays_cache = self._expand_arrays()
+        return self._arrays_cache
+
+    def _arrays_from_joint(self) -> Tuple[np.ndarray, np.ndarray]:
+        rows = self._joint_cache
+        if not rows:
+            return np.empty((0, len(self._order))), np.empty(0)
+        values = np.array(
+            [[a[name] for name in self._order] for a, _ in rows], dtype=float
+        )
+        probs = np.array([p for _, p in rows], dtype=float)
+        return values, probs
+
+    def _expand_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._order:
+            return np.empty((1, 0)), np.ones(1)
+        pos = {name: j for j, name in enumerate(self._order)}
+        probs = np.ones(1)
+        idx_cols: List[np.ndarray] = []  # per-node state-index columns
+        for name in self._order:
+            # Entry prune: the recursive walk rejects a partial whose
+            # running mass is negligible before expanding it further.
+            keep = ~negligible_mass(probs)
+            if not keep.all():
+                probs = probs[keep]
+                idx_cols = [col[keep] for col in idx_cols]
+            node = self._nodes[name]
+            n_vals = len(node.values)
+            if node.parents:
+                sizes = [len(self._nodes[p].values) for p in node.parents]
+                combos = itertools.product(
+                    *(self._nodes[p].values for p in node.parents)
+                )
+                cpt_mat = np.array([node.cpt[c] for c in combos])
+                strides = [1] * len(sizes)
+                for i in range(len(sizes) - 2, -1, -1):
+                    strides[i] = strides[i + 1] * sizes[i + 1]
+                combo_idx = np.zeros(probs.size, dtype=int)
+                for parent, stride in zip(node.parents, strides):
+                    combo_idx += idx_cols[pos[parent]] * stride
+                rows = cpt_mat[combo_idx]
+            else:
+                rows = np.tile(np.asarray(node.cpt[()]), (probs.size, 1))
+            # C-order ravel == depth-first child order of the old walk.
+            new_probs = (probs[:, None] * rows).ravel()
+            idx_cols = [np.repeat(col, n_vals) for col in idx_cols]
+            idx_cols.append(np.tile(np.arange(n_vals), probs.size))
+            # Zero-skip: the walk never recursed into a zero cpt entry.
+            keep = rows.ravel() != 0.0
+            probs = new_probs[keep]
+            idx_cols = [col[keep] for col in idx_cols]
+        # Final entry check (depth == n_nodes in the recursive walk).
+        keep = ~negligible_mass(probs)
+        probs = probs[keep]
+        values = np.column_stack(
+            [
+                np.asarray(self._nodes[name].values)[col[keep]]
+                for name, col in zip(self._order, idx_cols)
+            ]
+        )
+        return values, probs
 
     def marginal(self, name: str) -> DiscreteDistribution:
         """Marginal distribution of one variable."""
@@ -216,6 +303,33 @@ class DiscreteBayesNet:
     def expectation(self, fn: Callable[[Assignment], float]) -> float:
         """``E[fn(X)]`` over the (possibly conditioned) joint."""
         return sum(prob * fn(assignment) for assignment, prob in self.joint())
+
+    def expectation_many(self, values: np.ndarray) -> np.ndarray:
+        """Batched expectations over per-assignment value rows.
+
+        ``values`` has shape ``(m, k)`` (or ``(k,)`` for a single
+        expectation) with column ``j`` aligned to row ``j`` of
+        :meth:`joint_arrays`.  The reduction is a cumulative sum along
+        the assignment axis — the same left-to-right accumulation as
+        :meth:`expectation`'s generator ``sum`` — so each result is
+        bit-identical to the scalar loop over the same per-assignment
+        values.
+        """
+        _, probs = self.joint_arrays()
+        arr = np.asarray(values, dtype=float)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        if arr.shape[1] != probs.size:
+            raise BayesNetError(
+                f"expected {probs.size} per-assignment values, "
+                f"got {arr.shape[1]}"
+            )
+        if probs.size == 0:
+            out = np.zeros(arr.shape[0])
+        else:
+            out = np.cumsum(arr * probs[None, :], axis=1)[:, -1]
+        return out[0] if squeeze else out
 
     def sample(self, rng: np.random.Generator) -> Assignment:
         """Draw one full assignment from the joint."""

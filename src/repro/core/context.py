@@ -65,7 +65,12 @@ from ..costmodel.estimates import (
 )
 from ..costmodel.model import CostModel
 from .distributions import DiscreteDistribution
-from .expected_cost import _SurvivalTable, expected_join_costs_batched
+from .expected_cost import (
+    _SurvivalTable,
+    expected_join_costs_batched,
+    expected_join_costs_batched_parallel,
+)
+from .parallel import WorkerPool
 
 __all__ = ["CacheStats", "OptimizationContext", "query_fingerprint"]
 
@@ -375,6 +380,7 @@ class OptimizationContext:
             Tuple[JoinMethod, DiscreteDistribution, DiscreteDistribution]
         ],
         memory: DiscreteDistribution,
+        pool: Optional[WorkerPool] = None,
     ) -> List[float]:
         """``E[Φ]`` for many fast-path joins, one array kernel invocation.
 
@@ -387,6 +393,12 @@ class OptimizationContext:
         bit-identical to the equivalent single-pair
         :func:`~repro.core.expected_cost.expected_join_cost_fast` call,
         so batching can never change which plan a DP level picks.
+
+        ``pool`` (a :class:`~repro.core.parallel.WorkerPool`) fans the
+        memo *misses* out across workers in deterministic chunks; the
+        values, the memo contents and the hit/miss accounting all stay
+        bit-identical to the sequential call (see
+        :func:`~repro.core.expected_cost.expected_join_costs_batched_parallel`).
         """
         stats = self._stats["batched_joins"]
         keys = [
@@ -404,8 +416,8 @@ class OptimizationContext:
                 missing.setdefault(key, []).append(i)
         if missing:
             uniq = [requests[positions[0]] for positions in missing.values()]
-            values = expected_join_costs_batched(
-                uniq, memory, survival=self.survival_table(memory)
+            values = expected_join_costs_batched_parallel(
+                uniq, memory, survival=self.survival_table(memory), pool=pool
             )
             for (key, positions), value in zip(missing.items(), values):
                 stats.misses += 1

@@ -18,11 +18,19 @@ algorithms need:
 * ``sequences(length)`` — explicit enumeration of all ``b^length`` value
   sequences with their probabilities, used by the tests and experiments to
   verify the marginal-based computation against brute force.
+
+Both views are array programs: ``marginals_many`` returns a whole stack
+of phase marginals at once (one matrix multiply per *new* phase, cached
+across calls), and ``sequence_table`` materializes the brute-force
+enumeration as two arrays built from a row-major index grid — the same
+left-to-right per-step multiplies as the scalar walk, so probabilities
+match the historical generator bit for bit (multiplying an exact ``0.0``
+by any finite factor stays ``0.0``, which subsumes the old early-break).
+``sequences`` itself is a thin generator over that table.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -95,6 +103,34 @@ class MarkovParameter:
         """
         return DiscreteDistribution(self.states, self._marginal_vector(phase))
 
+    def marginal_matrix(self, n_phases: int) -> np.ndarray:
+        """Phase marginals ``0..n_phases-1`` stacked as a matrix.
+
+        Row ``k`` is exactly ``_marginal_vector(k)`` (the same cached
+        ``@ transition`` recurrence), so batch consumers see the very
+        floats the per-phase path produces.
+        """
+        if n_phases < 1:
+            raise ValueError("n_phases must be >= 1")
+        self._marginal_vector(n_phases - 1)
+        return np.vstack(self._marginal_cache[:n_phases])
+
+    def marginals_many(self, phases: Sequence[int]) -> np.ndarray:
+        """Marginal probability vectors for a batch of phases, stacked.
+
+        ``out[i]`` equals ``_marginal_vector(phases[i])`` — one cache
+        fill up to ``max(phases)``, then a fancy-index gather.
+        """
+        idx = np.asarray(phases, dtype=int)
+        if idx.ndim != 1:
+            raise ValueError("phases must be a 1-d sequence")
+        if idx.size == 0:
+            return np.empty((0, self.n_states))
+        if np.any(idx < 0):
+            raise ValueError("phase must be >= 0")
+        matrix = self.marginal_matrix(int(idx.max()) + 1)
+        return matrix[idx]
+
     def stationary(self, tol: float = 1e-12, max_iter: int = 100000) -> DiscreteDistribution:
         """Stationary distribution via power iteration."""
         vec = self.initial.copy()
@@ -108,28 +144,49 @@ class MarkovParameter:
 
     # ------------------------------------------------------------------
 
+    def sequence_table(self, length: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All positive-probability value sequences as ``(values, probs)``.
+
+        ``values`` has shape ``(k, length)`` (one row per sequence, in
+        the same row-major order ``itertools.product`` would visit) and
+        ``probs`` shape ``(k,)``.  Probabilities are built with the same
+        left-to-right per-step multiplies as the scalar walk — step
+        ``j`` multiplies in ``transition[s_{j-1}, s_j]`` across all rows
+        at once — so each surviving row's probability is bit-identical
+        to the historical generator's.  Zero-probability sequences are
+        dropped (as the generator skipped them); an exact ``0.0`` can
+        only stay ``0.0`` under further finite multiplies, so the old
+        early-break changes nothing.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        if length == 0:
+            return np.empty((1, 0)), np.ones(1)
+        n = self.n_states
+        # Row-major index grid == itertools.product(range(n), repeat=length).
+        grid = (
+            np.indices((n,) * length).reshape(length, n**length).T
+        )
+        probs = self.initial[grid[:, 0]].copy()
+        for j in range(1, length):
+            probs *= self.transition[grid[:, j - 1], grid[:, j]]
+        # Exact zero on purpose: only a true 0.0 product may be dropped,
+        # mirroring the scalar walk's branch prune — a tolerance here
+        # would delete real (tiny) sequences.
+        keep = probs != 0.0  # optlint: disable=FLT001
+        return self.states[grid[keep]], probs[keep]
+
     def sequences(self, length: int) -> Iterator[Tuple[Tuple[float, ...], float]]:
         """Enumerate all value sequences of ``length`` phases with probability.
 
         This is the ``b_M^{n-1}`` explosion the paper warns about; it is
         exposed for verification (Theorem 3.4 tests) and for small exact
-        experiments only.
+        experiments only.  A thin generator over :meth:`sequence_table`
+        — same order, same tuples, same probabilities.
         """
-        if length < 0:
-            raise ValueError("length must be >= 0")
-        if length == 0:
-            yield (), 1.0
-            return
-        n = self.n_states
-        for idx_seq in itertools.product(range(n), repeat=length):
-            p = float(self.initial[idx_seq[0]])
-            for a, b in zip(idx_seq[:-1], idx_seq[1:]):
-                p *= float(self.transition[a, b])
-                if p == 0.0:
-                    break
-            if p == 0.0:
-                continue
-            yield tuple(float(self.states[i]) for i in idx_seq), p
+        values, probs = self.sequence_table(length)
+        for row, p in zip(values, probs):
+            yield tuple(float(v) for v in row), float(p)
 
     def sample_path(self, length: int, rng: np.random.Generator) -> List[float]:
         """Sample one trajectory of parameter values across ``length`` phases."""

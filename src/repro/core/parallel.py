@@ -1,0 +1,256 @@
+"""Deterministic worker pools for per-level parallel evaluation.
+
+The DP engine assembles one batch of join-step requests per level
+(`SystemRDP._prefetch_level`).  This module supplies the machinery that
+fans such a batch out across workers *without changing a single bit* of
+the result:
+
+* :func:`parse_parallelism` — normalize every user spelling of the
+  ``parallelism=`` knob into ``None`` (sequential) or a
+  ``(backend, size)`` pair;
+* :func:`chunk_spans` — the deterministic contiguous chunking both the
+  parallel evaluator and its tests use.  Chunk boundaries depend only on
+  ``(n_items, n_chunks)``, never on timing;
+* :class:`WorkerPool` — a reusable executor wrapper whose
+  :meth:`WorkerPool.map_ordered` submits chunks in order and gathers
+  results in the *same* fixed order, so merging is a plain
+  concatenation;
+* :func:`get_pool` / :func:`shutdown_pools` — a module-level registry
+  so repeated ``optimize(..., parallelism=4)`` calls reuse one pool
+  instead of paying thread start-up per query.
+
+Determinism contract (see docs/architecture.md): each request's value
+depends only on its own padded row inside the vectorized kernel, and the
+kernel's row reductions are ``np.cumsum`` (left-to-right, transparent to
+zero padding).  Chunking a batch therefore evaluates exactly the same
+float operations per request as the unchunked batch, and a fixed-order
+merge reproduces the sequential output bit for bit — the property the
+parity suite (`tests/optimizer/test_parallel_parity.py`) pins across
+pool sizes.
+
+Threads are the default backend: the numpy kernel releases the GIL in
+its array loops, so thread workers scale on multi-core hosts while
+sharing distribution objects for free.  The ``processes`` backend is the
+fallback for workloads dominated by python-level work; its tasks must be
+module-level functions with picklable arguments.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ParallelismError",
+    "parse_parallelism",
+    "chunk_spans",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pools",
+]
+
+#: accepted backend names, in documentation order.
+_BACKENDS = ("threads", "processes")
+
+#: spellings of "no parallelism".
+_OFF = (None, False, 0, 1, "off", "none", "sequential")
+
+ParallelismSpec = Union[None, bool, int, str, Tuple[str, int], "WorkerPool"]
+
+
+class ParallelismError(ValueError):
+    """An unintelligible ``parallelism=`` specification."""
+
+
+def parse_parallelism(spec: ParallelismSpec) -> Optional[Tuple[str, int]]:
+    """Normalize a ``parallelism=`` knob to ``None`` or ``(backend, size)``.
+
+    Accepted spellings::
+
+        None / False / 0 / 1 / "off"        -> None        (sequential)
+        True / "auto"                       -> ("threads", cpu_count)
+        4                                   -> ("threads", 4)
+        "4"                                 -> ("threads", 4)
+        "threads:4" / "processes:2"         -> (backend, n)
+        ("threads", 4)                      -> (backend, n)
+
+    A resolved size of 1 collapses to ``None``: a one-worker pool would
+    only add overhead to an already bit-identical result.
+    """
+    if isinstance(spec, WorkerPool):
+        return (spec.backend, spec.size)
+    if spec in _OFF:
+        return None
+    if spec is True:
+        spec = "auto"
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("auto", "max"):
+            return _sized("threads", os.cpu_count() or 1)
+        if ":" in text:
+            backend, _, num = text.partition(":")
+            backend = backend.strip()
+            if backend not in _BACKENDS:
+                raise ParallelismError(
+                    f"unknown parallelism backend {backend!r}; "
+                    f"expected one of {_BACKENDS}"
+                )
+            try:
+                return _sized(backend, int(num))
+            except ValueError as exc:
+                raise ParallelismError(
+                    f"bad parallelism size in {spec!r}"
+                ) from exc
+        try:
+            return _sized("threads", int(text))
+        except ValueError as exc:
+            raise ParallelismError(
+                f"unintelligible parallelism spec {spec!r}"
+            ) from exc
+    if isinstance(spec, int):
+        return _sized("threads", spec)
+    if isinstance(spec, tuple) and len(spec) == 2:
+        backend, size = spec
+        if backend not in _BACKENDS:
+            raise ParallelismError(
+                f"unknown parallelism backend {backend!r}; "
+                f"expected one of {_BACKENDS}"
+            )
+        if not isinstance(size, int):
+            raise ParallelismError(f"parallelism size must be int, got {size!r}")
+        return _sized(backend, size)
+    raise ParallelismError(f"unintelligible parallelism spec {spec!r}")
+
+
+def _sized(backend: str, size: int) -> Optional[Tuple[str, int]]:
+    if size < 0:
+        raise ParallelismError(f"parallelism size must be >= 0, got {size}")
+    if size <= 1:
+        return None
+    return (backend, size)
+
+
+def chunk_spans(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Deterministic contiguous ``[start, stop)`` spans covering a batch.
+
+    The first ``n_items % n_chunks`` chunks are one element longer;
+    empty spans are dropped, so at most ``min(n_items, n_chunks)`` spans
+    come back.  Boundaries are a pure function of the two sizes — the
+    merge order (and with it bit-identity) never depends on scheduling.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    base, extra = divmod(n_items, n_chunks)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            spans.append((start, stop))
+        start = stop
+    return spans
+
+
+class WorkerPool:
+    """A reusable, fixed-size worker pool with order-preserving fan-out.
+
+    The executor is created eagerly in ``__init__`` (before the pool is
+    shared), and :meth:`map_ordered` is the only way work enters it:
+    tasks are submitted in argument order and results gathered in the
+    same order, so callers merge by concatenation and the output is
+    independent of worker scheduling.
+    """
+
+    def __init__(self, backend: str = "threads", size: int = 2):
+        if backend not in _BACKENDS:
+            raise ParallelismError(
+                f"unknown parallelism backend {backend!r}; "
+                f"expected one of {_BACKENDS}"
+            )
+        if size < 2:
+            raise ParallelismError(
+                f"a WorkerPool needs >= 2 workers, got {size}; use "
+                "parallelism=None for sequential evaluation"
+            )
+        self.backend = backend
+        self.size = size
+        if backend == "threads":
+            self._executor = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-level"
+            )
+        else:
+            self._executor = ProcessPoolExecutor(max_workers=size)
+        self._closed = False
+
+    def map_ordered(
+        self, fn: Callable[..., Any], tasks: Sequence[Tuple[Any, ...]]
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for each task; results in submission order.
+
+        With the ``processes`` backend ``fn`` must be a module-level
+        function and every task argument picklable.
+        """
+        if self._closed:
+            raise ParallelismError("pool is closed")
+        futures = [self._executor.submit(fn, *task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the executor down; the pool cannot be reused afterwards."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"WorkerPool(backend={self.backend!r}, size={self.size}, {state})"
+
+
+#: (backend, size) -> live pool; guarded by _POOLS_LOCK.
+_POOLS: Dict[Tuple[str, int], WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(spec: ParallelismSpec) -> Optional[WorkerPool]:
+    """Resolve a ``parallelism=`` spec to a shared pool (or ``None``).
+
+    Pools are cached per ``(backend, size)`` so repeated optimizations
+    reuse warm workers; a :class:`WorkerPool` instance passes through
+    untouched (caller-managed lifetime).
+    """
+    global _POOLS
+    if isinstance(spec, WorkerPool):
+        return spec
+    resolved = parse_parallelism(spec)
+    if resolved is None:
+        return None
+    with _POOLS_LOCK:
+        pool = _POOLS.get(resolved)
+        if pool is None or pool.closed:
+            pool = WorkerPool(*resolved)
+            _POOLS[resolved] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close and forget every registry-owned pool (tests, interpreter exit)."""
+    global _POOLS
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS = {}
+    for pool in pools:
+        pool.close()

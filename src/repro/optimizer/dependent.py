@@ -9,6 +9,19 @@ expectation over one fixed distribution, additivity and hence DP
 optimality are untouched: this is Algorithm C/D generalised to
 correlated parameters.
 
+The expectation walk is an array program: the joint's assignments come
+from :meth:`~repro.core.bayesnet.DiscreteBayesNet.joint_arrays` as value
+columns, subset page counts are computed for *all* assignments at once
+(:meth:`BayesNetCoster._pages_given_many`, bit-identical to the scalar
+per-assignment arithmetic), the cost formulas run through the vectorized
+``*_many`` cost-model entry points, and the final expectation is the
+same left-to-right cumulative sum the scalar ``net.expectation`` loop
+performed.  Step costs are memoized in the bound
+:class:`~repro.core.context.OptimizationContext` and a whole DP level
+can be prefetched (``prefetch_join_steps``) — optionally fanned out over
+a :class:`~repro.core.parallel.WorkerPool` with deterministic chunking,
+exactly like the independent costers.
+
 Network conventions: the memory variable is named by ``memory_var``
 (default ``"M"``); each uncertain predicate selectivity is a variable
 named by the predicate's *label*.  Predicates without a matching variable
@@ -18,17 +31,54 @@ freely; they are marginalised by the joint enumeration.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional
+
+import numpy as np
 
 from ..core.bayesnet import Assignment, BayesNetError, DiscreteBayesNet
+from ..core.context import OptimizationContext
+from ..core.parallel import chunk_spans
+from ..costmodel import formulas
 from ..costmodel.model import CostModel
 from ..plans.nodes import Join, Plan, Scan, Sort
+from ..plans.properties import JoinMethod
 from ..plans.query import JoinQuery
-from .costers import Coster
+from .costers import _MIN_PARALLEL_STEPS, Coster, _pending_by_formula, _store_steps
 from .result import OptimizationResult
 from .systemr import SystemRDP
 
 __all__ = ["BayesNetCoster", "optimize_dependent", "plan_expected_cost_dependent"]
+
+
+def _bayes_step_rows_pure(
+    method: JoinMethod,
+    left_pages: np.ndarray,
+    right_pages: np.ndarray,
+    memory_col: np.ndarray,
+    probs: np.ndarray,
+    left_presorted: bool,
+    right_presorted: bool,
+) -> np.ndarray:
+    """Counting-free expected step costs for a block of Bayes-net steps.
+
+    ``left_pages``/``right_pages`` have one row per step and one column
+    per joint assignment; ``memory_col``/``probs`` are the assignment
+    columns.  Runs the *pure* formula kernels (module-level and free of
+    :class:`CostModel` state, so it is safe in worker threads and
+    picklable for process pools); the caller charges ``eval_count`` via
+    :meth:`CostModel.note_evaluations`.  Each grid element depends only
+    on its own ``(pages, pages, memory)`` triple and the per-row
+    reduction is a cumulative sum, so any row block of the result is
+    bit-identical to evaluating those steps alone.
+    """
+    memory = np.broadcast_to(memory_col, left_pages.shape)
+    if method is JoinMethod.SORT_MERGE and (left_presorted or right_presorted):
+        grid = formulas.sort_merge_cost_with_orders_vec(
+            left_pages, right_pages, memory, left_presorted, right_presorted
+        )
+    else:
+        grid = formulas.join_cost_vec(method, left_pages, right_pages, memory)
+    return np.cumsum(grid * probs[None, :], axis=1)[:, -1]
 
 
 class BayesNetCoster(Coster):
@@ -47,6 +97,28 @@ class BayesNetCoster(Coster):
             )
         self.net = net
         self.memory_var = memory_var
+        self._columns: Dict[str, np.ndarray] = {}
+        self._memory_col = np.empty(0)
+        self._pages_many_cache: Dict[FrozenSet[str], np.ndarray] = {}
+
+    def bind(
+        self, query: JoinQuery, context: Optional[OptimizationContext] = None
+    ) -> None:
+        super().bind(query, context)
+        values, _ = self.net.joint_arrays()
+        self._columns = {
+            name: values[:, j] for j, name in enumerate(self.net.names)
+        }
+        self._memory_col = self._columns[self.memory_var]
+        self._pages_many_cache = {}
+
+    def _memo_key(self) -> tuple:
+        # The net is keyed by identity (default object hash): two net
+        # objects are never assumed value-equal, so cross-coster sharing
+        # through one context only happens for literally the same
+        # network.  The key holds a reference, so the identity is stable
+        # for the memo's lifetime.
+        return ("bayesnet", self.net, self.memory_var)
 
     # -- size arithmetic under an assignment -----------------------------
 
@@ -73,33 +145,143 @@ class BayesNetCoster(Coster):
             rows *= assignment.get(p.label, p.selectivity)
         return max(1.0, rows / query.rows_per_page)
 
+    def _pages_given_many(self, rels: FrozenSet[str]) -> np.ndarray:
+        """Per-assignment page counts for ``rels`` across the whole joint.
+
+        Column ``j`` equals ``_pages_given(rels, joint()[j][0])`` bit for
+        bit: the relation-row base product runs the *same* frozenset
+        iteration the scalar walk uses (a scalar, shared by every
+        assignment), and each predicate's selectivity column multiplies
+        in afterwards in the same predicate order — so every assignment
+        sees the identical left-to-right multiply sequence.
+        """
+        assert self.query is not None
+        query = self.query
+        rels = frozenset(rels)
+        cached = self._pages_many_cache.get(rels)
+        if cached is not None:
+            return cached
+        k = self._memory_col.size
+        if len(rels) == 1:
+            arr = np.full(k, query.pages_of(next(iter(rels))))
+        else:
+            preds = query.predicates_within(rels)
+            if (
+                len(rels) == 2
+                and len(preds) == 1
+                and preds[0].result_pages_override is not None
+            ):
+                arr = np.full(k, float(preds[0].result_pages_override))
+            else:
+                base = 1.0
+                for name in rels:
+                    base *= query.rows_of(name)
+                arr = np.full(k, base)
+                for p in preds:
+                    col = self._columns.get(p.label)
+                    arr = arr * (p.selectivity if col is None else col)
+                arr = np.maximum(1.0, arr / query.rows_per_page)
+        self._pages_many_cache[rels] = arr
+        return arr
+
+    def _join_cost_columns(
+        self,
+        method: JoinMethod,
+        left_pages: np.ndarray,
+        right_pages: np.ndarray,
+        memory: np.ndarray,
+        left_presorted: bool,
+        right_presorted: bool,
+    ) -> np.ndarray:
+        """Vectorized :meth:`Coster._join_formula` over assignment columns."""
+        if method is JoinMethod.SORT_MERGE and (left_presorted or right_presorted):
+            return self.cost_model.sort_merge_cost_ordered_many(
+                left_pages, right_pages, memory, left_presorted, right_presorted
+            )
+        return self.cost_model.join_cost_many(
+            method, left_pages, right_pages, memory
+        )
+
     # -- hooks ------------------------------------------------------------
 
     def join_step_cost(
         self, method, left_rels, right_rels, phase,
         left_presorted=False, right_presorted=False,
     ):
-        def step(assignment: Assignment) -> float:
-            lp = self._pages_given(left_rels, assignment)
-            rp = self._pages_given(right_rels, assignment)
-            m = assignment[self.memory_var]
-            return self._join_formula(
-                method, lp, rp, m, left_presorted, right_presorted
-            )
+        key = self._join_step_key(
+            method, frozenset(left_rels), frozenset(right_rels), phase,
+            left_presorted, right_presorted,
+        )
 
-        return self.net.expectation(step)
+        def compute() -> float:
+            lp = self._pages_given_many(left_rels)
+            rp = self._pages_given_many(right_rels)
+            costs = self._join_cost_columns(
+                method, lp, rp, self._memory_col,
+                left_presorted, right_presorted,
+            )
+            return float(self.net.expectation_many(costs))
+
+        return self._step(key, compute)
+
+    def prefetch_join_steps(self, requests, pool=None):
+        """One vectorized grid per formula group, optionally fanned out.
+
+        Pending steps sharing ``(method, presorted-flags)`` evaluate as
+        one ``(steps × assignments)`` grid through the pure kernels; a
+        worker pool splits the step rows with deterministic
+        :func:`~repro.core.parallel.chunk_spans` and the chunks merge in
+        span order, so memo contents and ``eval_count`` match the
+        sequential prefetch (and the on-demand path) exactly.
+        """
+        assert self.context is not None, "coster used before bind()"
+        _, probs = self.net.joint_arrays()
+        groups = _pending_by_formula(self.context, self, requests)
+        for (method, lps, rps), group in groups.items():
+            keys = [key for key, _ in group]
+            lp = np.vstack([self._pages_given_many(req[1]) for _, req in group])
+            rp = np.vstack([self._pages_given_many(req[2]) for _, req in group])
+            n = len(keys)
+            spans = (
+                chunk_spans(n, pool.size)
+                if pool is not None
+                and not pool.closed
+                and n >= _MIN_PARALLEL_STEPS
+                else []
+            )
+            if len(spans) > 1:
+                tasks = [
+                    (method, lp[a:b], rp[a:b], self._memory_col, probs, lps, rps)
+                    for a, b in spans
+                ]
+                parts = pool.map_ordered(_bayes_step_rows_pure, tasks)
+                costs = np.concatenate(parts)
+            else:
+                costs = _bayes_step_rows_pure(
+                    method, lp, rp, self._memory_col, probs, lps, rps
+                )
+            self.cost_model.note_evaluations(n * self._memory_col.size)
+            _store_steps(self.context, keys, costs)
 
     def write_cost(self, rels):
-        return self.net.expectation(
-            lambda a: self._pages_given(rels, a)
+        key = (*self._memo_key(), "write", frozenset(rels))
+        return self._step(
+            key,
+            lambda: float(
+                self.net.expectation_many(self._pages_given_many(rels))
+            ),
         )
 
     def final_sort_cost(self, rels, phase):
-        return self.net.expectation(
-            lambda a: self.cost_model.sort_cost(
-                self._pages_given(rels, a), a[self.memory_var]
+        key = (*self._memo_key(), "sort", frozenset(rels))
+
+        def compute() -> float:
+            costs = self.cost_model.sort_cost_many(
+                self._pages_given_many(rels), self._memory_col
             )
-        )
+            return float(self.net.expectation_many(costs))
+
+        return self._step(key, compute)
 
 
 def optimize_dependent(
@@ -109,13 +291,24 @@ def optimize_dependent(
     cost_model: Optional[CostModel] = None,
     plan_space: str = "left-deep",
     allow_cross_products: bool = False,
+    context: Optional[OptimizationContext] = None,
+    level_batching: Optional[bool] = None,
+    parallelism=None,
 ) -> OptimizationResult:
-    """LEC optimization under a dependent parameter joint."""
+    """LEC optimization under a dependent parameter joint.
+
+    ``context``, ``level_batching`` and ``parallelism`` thread straight
+    through to :class:`~repro.optimizer.systemr.SystemRDP`; all three are
+    bit-invisible in the chosen plan and objective.
+    """
     coster = BayesNetCoster(net, memory_var=memory_var, cost_model=cost_model)
     engine = SystemRDP(
         coster,
         plan_space=plan_space,
         allow_cross_products=allow_cross_products,
+        context=context,
+        level_batching=level_batching,
+        parallelism=parallelism,
     )
     return engine.optimize(query)
 
@@ -129,39 +322,39 @@ def plan_expected_cost_dependent(
 ) -> float:
     """``E[Φ(plan, V)]`` over the net's joint — independent evaluator.
 
-    Walks the plan per joint assignment, instantiating a point world
-    (selectivities from the assignment, memory likewise) and costing the
-    plan in it; used to cross-check the DP and to score arbitrary plans
+    Costs the plan in every joint assignment at once: each node
+    contributes one per-assignment cost column (vectorized formulas over
+    the assignment axis) and columns accumulate in node order — the same
+    per-assignment addition sequence as walking the plan one assignment
+    at a time, so the result is bit-identical to the historical scalar
+    walk.  Used to cross-check the DP and to score arbitrary plans
     (e.g. the independence-assuming choice) under the true joint.
     """
     cm = cost_model if cost_model is not None else CostModel()
     coster = BayesNetCoster(net, memory_var=memory_var, cost_model=cm)
     coster.bind(query)
-
-    def cost_in(assignment: Assignment) -> float:
-        total = 0.0
-        m = assignment[memory_var]
-        for node in plan.nodes():
-            if isinstance(node, Scan):
-                total += cm.scan_node_cost(node, query)
-            elif isinstance(node, Sort):
-                pages = coster._pages_given(node.child.relations(), assignment)
-                total += cm.sort_cost(pages, m)
-            else:
-                assert isinstance(node, Join)
-                lp = coster._pages_given(node.left.relations(), assignment)
-                rp = coster._pages_given(node.right.relations(), assignment)
-                target = node.output_order_label
-                total += coster._join_formula(
-                    node.method,
-                    lp,
-                    rp,
-                    m,
-                    node.left.order == target,
-                    node.right.order == target,
-                )
-                if node is not plan.root:
-                    total += coster._pages_given(node.relations(), assignment)
-        return total
-
-    return net.expectation(cost_in)
+    _, probs = net.joint_arrays()
+    memory = coster._memory_col
+    totals = np.zeros(probs.size)
+    for node in plan.nodes():
+        if isinstance(node, Scan):
+            totals = totals + cm.scan_node_cost(node, query)
+        elif isinstance(node, Sort):
+            pages = coster._pages_given_many(node.child.relations())
+            totals = totals + cm.sort_cost_many(pages, memory)
+        else:
+            assert isinstance(node, Join)
+            lp = coster._pages_given_many(node.left.relations())
+            rp = coster._pages_given_many(node.right.relations())
+            target = node.output_order_label
+            totals = totals + coster._join_cost_columns(
+                node.method,
+                lp,
+                rp,
+                memory,
+                node.left.order == target,
+                node.right.order == target,
+            )
+            if node is not plan.root:
+                totals = totals + coster._pages_given_many(node.relations())
+    return float(net.expectation_many(totals))

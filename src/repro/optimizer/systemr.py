@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..core.context import OptimizationContext
+from ..core.parallel import get_pool
 from ..plans.nodes import Join, Plan, PlanNode, Project, Scan, Sort
 from ..plans.nodes import Union as UnionNode
 from ..plans.properties import AccessPath, order_from_join
@@ -105,6 +106,16 @@ class SystemRDP:
         spaces): under pruning, prefetching would evaluate steps the
         prune skips, inflating the ``formula_evaluations`` accounting
         the experiments rely on.  Pass ``True``/``False`` to force.
+    parallelism:
+        Fan each prefetched level batch out across a worker pool (see
+        :func:`repro.core.parallel.parse_parallelism` for the accepted
+        spellings: ``None``/``"off"``, an int worker count, ``"auto"``,
+        ``"threads:4"``, ``"processes:2"``, or a live
+        :class:`~repro.core.parallel.WorkerPool`).  Chunking is
+        deterministic and results merge in fixed chunk order, so plans,
+        objectives and ``formula_evaluations`` stay bit-identical to
+        sequential evaluation.  Only effective together with level
+        batching — sequential on-demand costing ignores it.
     """
 
     def __init__(
@@ -115,6 +126,7 @@ class SystemRDP:
         top_k: int = 1,
         context: Optional[OptimizationContext] = None,
         level_batching: Optional[bool] = None,
+        parallelism=None,
     ):
         try:
             space = PlanSpace.parse(plan_space)
@@ -143,6 +155,9 @@ class SystemRDP:
         self._batch_steps = (
             (not self._prune) if level_batching is None else bool(level_batching)
         )
+        # Resolved once: repeated optimize() calls reuse the same warm
+        # registry pool (or the caller's own WorkerPool instance).
+        self._pool = get_pool(parallelism)
 
     # ------------------------------------------------------------------
 
@@ -274,7 +289,7 @@ class SystemRDP:
                             (method, left_rels, right_rels, phase, lsorted, rsorted)
                         )
         if requests:
-            self.coster.prefetch_join_steps(requests)
+            self.coster.prefetch_join_steps(requests, pool=self._pool)
 
     def _build_subset(
         self,

@@ -159,6 +159,75 @@ class TestLock001:
         assert len(findings) == 1
         assert "_pending" in findings[0].message
 
+    def test_module_global_item_store_fires(self):
+        # The worker-pool registry idiom: publishing into a shared module
+        # dict is a write to the global, not just rebinding it.
+        src = """
+            import threading
+
+            _POOLS = {}
+            _POOLS_LOCK = threading.Lock()
+
+            def get_pool(key, pool):
+                global _POOLS
+                _POOLS[key] = pool
+            """
+        findings = run_rule("LOCK001", src)
+        assert len(findings) == 1
+        assert "_POOLS" in findings[0].message
+
+    def test_module_global_mutator_call_fires(self):
+        src = """
+            import threading
+
+            _QUEUE = []
+            _LOCK = threading.Lock()
+
+            def push(item):
+                global _QUEUE
+                _QUEUE.append(item)
+            """
+        findings = run_rule("LOCK001", src)
+        assert len(findings) == 1
+        assert "_QUEUE" in findings[0].message
+        assert ".append()" in findings[0].message
+
+    def test_module_global_unpacking_and_delete_fire(self):
+        src = """
+            import threading
+
+            _A = None
+            _B = None
+            _LOCK = threading.Lock()
+
+            def reset(x, y):
+                global _A, _B
+                _A, _B = x, y
+
+            def drop():
+                global _A
+                del _A
+            """
+        findings = run_rule("LOCK001", src)
+        assert len(findings) == 3
+        assert sum("_A" in f.message for f in findings) == 2
+        assert sum("_B" in f.message for f in findings) == 1
+
+    def test_module_global_item_store_under_lock_is_quiet(self):
+        src = """
+            import threading
+
+            _POOLS = {}
+            _POOLS_LOCK = threading.Lock()
+
+            def get_pool(key, pool):
+                global _POOLS
+                with _POOLS_LOCK:
+                    _POOLS[key] = pool
+                    _POOLS.setdefault(key, pool)
+            """
+        assert run_rule("LOCK001", src) == []
+
 
 class TestVer001:
     BAD = """
@@ -363,6 +432,85 @@ class TestDet001:
             "def spawn():\n"
             "    p = multiprocessing.Process(target=worker_main, args=(1, 7))\n"
             "    p.start()\n"
+        )
+        assert run_rule("DET001", src) == []
+
+    def test_pool_task_gets_pool_message(self):
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def eval_chunk(span):\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng.random(span)\n"
+            "\n"
+            "def fan_out(pool, spans):\n"
+            "    return pool.map_ordered(eval_chunk, spans)\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "pool task" in findings[0].message
+        assert "eval_chunk" in findings[0].message
+        assert "chunk_index" in findings[0].message
+
+    def test_executor_submit_counts_as_pool_dispatch(self):
+        src = (
+            "import random\n"
+            "\n"
+            "def job():\n"
+            "    return random.random()\n"
+            "\n"
+            "def run(executor):\n"
+            "    return executor.submit(job)\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "pool task" in findings[0].message
+
+    def test_builtin_map_is_not_pool_dispatch(self):
+        # map(fn, xs) is a plain Name call — fn runs on the caller's
+        # thread, so the finding keeps the generic message.
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def scale(x):\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng.random() * x\n"
+            "\n"
+            "def run(xs):\n"
+            "    return list(map(scale, xs))\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "pool task" not in findings[0].message
+
+    def test_process_target_wins_over_pool_dispatch(self):
+        src = (
+            "import multiprocessing\n"
+            "import numpy as np\n"
+            "\n"
+            "def worker_main(sock):\n"
+            "    rng = np.random.default_rng()\n"
+            "    return rng\n"
+            "\n"
+            "def spawn(pool):\n"
+            "    p = multiprocessing.Process(target=worker_main, args=(1,))\n"
+            "    pool.submit(worker_main)\n"
+            "    p.start()\n"
+        )
+        findings = run_rule("DET001", src)
+        assert len(findings) == 1
+        assert "Process target" in findings[0].message
+
+    def test_seeded_pool_task_is_quiet(self):
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def eval_chunk(seed, chunk_index):\n"
+            "    rng = np.random.default_rng([seed, chunk_index])\n"
+            "    return rng.random()\n"
+            "\n"
+            "def fan_out(pool, seed, n):\n"
+            "    return pool.map_ordered(eval_chunk, [(seed, i) for i in range(n)])\n"
         )
         assert run_rule("DET001", src) == []
 

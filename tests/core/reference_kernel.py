@@ -24,9 +24,14 @@ All functions work on parallel ``(values, probs)`` lists of floats with
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 Support = Tuple[List[float], List[float]]
+
+#: The negligible-mass threshold (``repro.core.floats.MASS_EPS``): both
+#: the Bayes-net enumeration and its reference drop partial assignments
+#: whose running mass is at or below this.
+MASS_EPS = 1e-15
 
 
 def normalize(values: Sequence[float], probs: Sequence[float]) -> Support:
@@ -191,4 +196,125 @@ def expected_join_cost(
         for rv, rp in zip(*right):
             for mv, mp in zip(*memory):
                 total += lp * rp * mp * cost_fn(lv, rv, mv)
+    return total
+
+
+def markov_marginal(
+    initial: Sequence[float],
+    transition: Sequence[Sequence[float]],
+    phase: int,
+) -> List[float]:
+    """Phase-``phase`` marginal ``m_0 · T^phase`` as plain loops.
+
+    The oracle for ``MarkovParameter.marginal`` / ``marginals_many``:
+    one vector-matrix product per phase, each entry a left-to-right sum
+    over the source states.
+    """
+    if phase < 0:
+        raise ValueError("phase must be >= 0")
+    m = [float(p) for p in initial]
+    n = len(m)
+    for _ in range(phase):
+        m = [
+            sum(m[i] * float(transition[i][j]) for i in range(n))
+            for j in range(n)
+        ]
+    return m
+
+
+def markov_sequences(
+    states: Sequence[float],
+    initial: Sequence[float],
+    transition: Sequence[Sequence[float]],
+    length: int,
+) -> List[Tuple[Tuple[float, ...], float]]:
+    """All positive-probability state sequences, depth-first.
+
+    The historical scalar walk ``MarkovParameter.sequence_table``
+    replaced: recurse state by state in declaration order, multiply the
+    step probability in left-to-right, and never descend into a branch
+    whose running probability is exactly zero.  Row order and every
+    surviving probability must match the vectorized table bit for bit.
+    """
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    if length == 0:
+        return [((), 1.0)]
+    n = len(states)
+    out: List[Tuple[Tuple[float, ...], float]] = []
+
+    def walk(prefix: List[int], prob: float) -> None:
+        # Exact zero on purpose: the prune mirrors the kernel's
+        # ``probs != 0.0`` keep mask.
+        if prob == 0.0:  # optlint: disable=FLT001
+            return
+        if len(prefix) == length:
+            out.append((tuple(float(states[i]) for i in prefix), prob))
+            return
+        for j in range(n):
+            step = (
+                float(initial[j])
+                if not prefix
+                else prob * float(transition[prefix[-1]][j])
+            )
+            walk(prefix + [j], step)
+
+    walk([], 1.0)
+    return out
+
+
+#: One Bayes-net node for :func:`bayesnet_joint`: ``(name, values,
+#: parents, cpt)`` with the cpt keyed by parent-value tuples (roots use
+#: the empty tuple).  Nodes are listed parents-first, exactly like
+#: ``DiscreteBayesNet.add_node`` calls.
+BayesNode = Tuple[
+    str,
+    Sequence[float],
+    Sequence[str],
+    Mapping[Tuple[float, ...], Sequence[float]],
+]
+
+
+def bayesnet_joint(
+    nodes: Sequence[BayesNode],
+) -> List[Tuple[Dict[str, float], float]]:
+    """Exact joint enumeration by the recursive depth-first walk.
+
+    The behavioral spec for ``DiscreteBayesNet.joint_arrays``: expand
+    node values in declaration order at every level, multiply cpt
+    entries in left-to-right, skip zero cpt entries at the level that
+    introduces them, and drop any partial (or full) assignment whose
+    running mass is negligible (``<= MASS_EPS``) on entry.
+    """
+    if not nodes:
+        return [({}, 1.0)]
+    out: List[Tuple[Dict[str, float], float]] = []
+
+    def walk(assignment: Dict[str, float], prob: float, depth: int) -> None:
+        if prob <= MASS_EPS:
+            return
+        if depth == len(nodes):
+            out.append((dict(assignment), prob))
+            return
+        name, values, parents, cpt = nodes[depth]
+        row = cpt[tuple(assignment[p] for p in parents)]
+        for v, p in zip(values, row):
+            if p == 0.0:
+                continue
+            assignment[name] = float(v)
+            walk(assignment, prob * float(p), depth + 1)
+            del assignment[name]
+
+    walk({}, 1.0, 0)
+    return out
+
+
+def bayesnet_expectation(
+    joint: Sequence[Tuple[Dict[str, float], float]],
+    fn: Callable[[Dict[str, float]], float],
+) -> float:
+    """``E[fn(X)]`` over an enumerated joint, left-to-right."""
+    total = 0.0
+    for assignment, prob in joint:
+        total += prob * fn(assignment)
     return total

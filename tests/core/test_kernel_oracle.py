@@ -10,6 +10,7 @@ fails here even if every downstream test still passes by luck.
 
 from __future__ import annotations
 
+import itertools
 import math
 
 import numpy as np
@@ -17,7 +18,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.bayesnet import DiscreteBayesNet
 from repro.core.distributions import DiscreteDistribution
+from repro.core.markov import MarkovParameter
 from repro.core.expected_cost import (
     FAST_METHODS,
     expected_join_cost_fast,
@@ -312,3 +315,165 @@ class TestManyQueryHelpers:
         np.testing.assert_allclose(
             dist.prob_of_many(xs), [0.0, 0.2, 0.0, 0.3, 0.0, 0.5, 0.0]
         )
+
+
+# ----------------------------------------------------------------------
+# Markov chains: marginals and brute-force sequence enumeration
+# ----------------------------------------------------------------------
+
+#: probability rows with real zeros, so the zero-branch pruning in both
+#: the sequence table and the reference walk actually triggers.
+def _prob_row(draw, n: int):
+    masses = draw(
+        st.lists(
+            st.one_of(st.just(0.0), st.floats(min_value=0.01, max_value=1.0)),
+            min_size=n, max_size=n,
+        ).filter(lambda m: sum(m) > 0.0)
+    )
+    total = sum(masses)
+    return [m / total for m in masses]
+
+
+@st.composite
+def markov_chains(draw, max_states: int = 3):
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    states = sorted(draw(st.lists(
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+        min_size=n, max_size=n, unique=True,
+    )))
+    initial = _prob_row(draw, n)
+    transition = [_prob_row(draw, n) for _ in range(n)]
+    return states, initial, transition
+
+
+class TestMarkovOracle:
+    @given(markov_chains(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=80, deadline=None)
+    def test_marginal_matches_reference(self, spec, phase):
+        states, initial, transition = spec
+        chain = MarkovParameter(states, initial, transition)
+        got = chain.marginals_many([phase])[0]
+        want = ref.markov_marginal(initial, transition, phase)
+        for g, w in zip(got, want):
+            assert float(g) == pytest.approx(w, rel=1e-9, abs=PROB_ABS_TOL)
+
+    @given(markov_chains())
+    @settings(max_examples=60, deadline=None)
+    def test_marginals_many_bitwise_equals_per_phase(self, spec):
+        states, initial, transition = spec
+        chain = MarkovParameter(states, initial, transition)
+        phases = [3, 0, 2, 2, 1]
+        stacked = chain.marginals_many(phases)
+        for row, phase in zip(stacked, phases):
+            single = chain.marginals_many([phase])[0]
+            assert np.array_equal(row, single)
+
+    @given(markov_chains(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_sequences_bitwise_match_reference_walk(self, spec, length):
+        # The vectorized table promises *bitwise* parity with the old
+        # scalar walk (same left-to-right step multiplies), so this one
+        # asserts exact equality, not closeness.
+        states, initial, transition = spec
+        chain = MarkovParameter(states, initial, transition)
+        got = list(chain.sequences(length))
+        want = ref.markov_sequences(states, initial, transition, length)
+        assert len(got) == len(want)
+        for (gv, gp), (wv, wp) in zip(got, want):
+            assert gv == wv
+            assert math.isclose(gp, wp, rel_tol=0.0, abs_tol=0.0)
+
+    def test_sequence_table_empty_length(self):
+        chain = MarkovParameter([1.0, 2.0], [0.5, 0.5],
+                                [[0.5, 0.5], [0.5, 0.5]])
+        values, probs = chain.sequence_table(0)
+        assert values.shape == (1, 0)
+        assert probs.tolist() == [1.0]
+
+
+# ----------------------------------------------------------------------
+# Bayes nets: joint enumeration and batched expectation
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def bayes_nets(draw, max_nodes: int = 4):
+    """A small random DAG plus its reference spec tuple list.
+
+    Each node takes up to two of the previously declared nodes as
+    parents, so chains, colliders and mixed shapes all occur; cpt rows
+    reuse the zero-bearing probability rows to exercise the zero-skip.
+    """
+    n_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    net = DiscreteBayesNet()
+    spec = []
+    names = []
+    for i in range(n_nodes):
+        name = f"x{i}"
+        n_vals = draw(st.integers(min_value=2, max_value=3))
+        values = [float(10 * (i + 1) + k) for k in range(n_vals)]
+        max_parents = min(2, len(names))
+        n_parents = draw(st.integers(min_value=0, max_value=max_parents))
+        parents = names[-n_parents:] if n_parents else []
+        if parents:
+            parent_values = [
+                next(s[1] for s in spec if s[0] == p) for p in parents
+            ]
+            cpt = {
+                tuple(combo): _prob_row(draw, n_vals)
+                for combo in itertools.product(*parent_values)
+            }
+            net.add_node(name, values, parents=parents, cpt=cpt)
+            spec.append((name, values, tuple(parents), cpt))
+        else:
+            probs = _prob_row(draw, n_vals)
+            net.add_node(name, values, probs=probs)
+            spec.append((name, values, (), {(): probs}))
+        names.append(name)
+    return net, spec
+
+
+class TestBayesNetOracle:
+    @given(bayes_nets())
+    @settings(max_examples=60, deadline=None)
+    def test_joint_bitwise_matches_reference_walk(self, pair):
+        # joint_arrays performs the walk's exact multiply sequence per
+        # assignment, so parity here is bitwise as well.
+        net, spec = pair
+        got = net.joint()
+        want = ref.bayesnet_joint(spec)
+        assert len(got) == len(want)
+        for (ga, gp), (wa, wp) in zip(got, want):
+            assert ga == wa
+            assert math.isclose(gp, wp, rel_tol=0.0, abs_tol=0.0)
+
+    @given(bayes_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_expectation_many_bitwise_matches_reference(self, pair):
+        net, spec = pair
+        values, _probs = net.joint_arrays()
+        joint = ref.bayesnet_joint(spec)
+        for j, name in enumerate(net.names):
+            got = float(net.expectation_many(values[:, j]))
+            want = ref.bayesnet_expectation(joint, lambda a: a[name])
+            assert math.isclose(got, want, rel_tol=0.0, abs_tol=0.0)
+
+    @given(bayes_nets())
+    @settings(max_examples=40, deadline=None)
+    def test_expectation_many_matrix_rows_equal_scalar_calls(self, pair):
+        net, _spec = pair
+        values, probs = net.joint_arrays()
+        rows = np.vstack([values[:, j] for j in range(values.shape[1])])
+        batched = net.expectation_many(rows)
+        for j in range(rows.shape[0]):
+            single = float(net.expectation_many(rows[j]))
+            assert math.isclose(
+                float(batched[j]), single, rel_tol=0.0, abs_tol=0.0
+            )
+
+    def test_empty_net_joint(self):
+        net = DiscreteBayesNet()
+        values, probs = net.joint_arrays()
+        assert values.shape == (1, 0)
+        assert probs.tolist() == [1.0]
+        assert ref.bayesnet_joint([]) == [({}, 1.0)]
